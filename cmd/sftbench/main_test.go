@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run is slow")
+	}
+	dir := t.TempDir()
+	// Capture nothing: run prints to stdout; we only check the CSV side
+	// effect and the absence of errors at one trial.
+	if err := run([]string{"-fig", "8", "-trials", "1", "-seed", "2", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(blob), "figure,x,algorithm") {
+		t.Errorf("csv header wrong: %s", string(blob[:40]))
+	}
+	if got := strings.Count(string(blob), "\n"); got != 1+5*3 {
+		t.Errorf("csv rows = %d, want 16", got)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Command sftgen emits a random SFT-embedding instance (network +
+// multicast task) as JSON, consumable by cmd/sftembed.
+//
+// Usage:
+//
+//	sftgen -nodes 50 -dest 5 -chain 5 -mu 2 -seed 1 > instance.json
+//	sftgen -palmetto -dest 10 -chain 10 > palmetto.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sftree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sftgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sftgen", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 50, "network size (ignored with -palmetto)")
+		dest     = fs.Int("dest", 5, "number of destinations")
+		chain    = fs.Int("chain", 5, "SFC length")
+		mu       = fs.Float64("mu", 2, "setup cost multiplier of the mean shortest-path cost")
+		seed     = fs.Int64("seed", 1, "random seed")
+		palmetto = fs.Bool("palmetto", false, "use the 45-node PalmettoNet topology")
+		out      = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		net *sftree.Network
+		err error
+	)
+	if *palmetto {
+		net, _, err = sftree.PalmettoNetwork(sftree.DefaultGenConfig(45, *mu), *seed)
+	} else {
+		net, err = sftree.GenerateNetwork(sftree.DefaultGenConfig(*nodes, *mu), *seed)
+	}
+	if err != nil {
+		return err
+	}
+	task, err := sftree.GenerateTask(net, *seed+1, *dest, *chain)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(sftree.InstanceDoc{Network: net, Task: task}, "", " ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, blob, 0o644)
+	}
+	_, err = w.Write(blob)
+	return err
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sftree"
+)
+
+func TestRunEmitsValidInstance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "15", "-dest", "3", "-chain", "2", "-seed", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc sftree.InstanceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not a valid instance: %v", err)
+	}
+	if doc.Network.NumNodes() != 15 || len(doc.Task.Destinations) != 3 || doc.Task.K() != 2 {
+		t.Errorf("instance shape wrong: %d nodes, task %+v", doc.Network.NumNodes(), doc.Task)
+	}
+	if err := doc.Task.Validate(doc.Network); err != nil {
+		t.Errorf("emitted task invalid: %v", err)
+	}
+}
+
+func TestRunPalmetto(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-palmetto", "-dest", "5", "-chain", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc sftree.InstanceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Network.NumNodes() != 45 {
+		t.Errorf("nodes = %d, want 45", doc.Network.NumNodes())
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := run([]string{"-nodes", "10", "-dest", "2", "-chain", "1", "-o", path}, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"task"`) {
+		t.Error("file does not look like an instance document")
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "5", "-dest", "50"}, &buf); err == nil {
+		t.Error("too many destinations accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-nodes", "12", "-seed", "3", "-dest", "2", "-chain", "2"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", "12", "-seed", "3", "-dest", "2", "-chain", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different instances")
+	}
+}

@@ -1,0 +1,75 @@
+// Command sftserve runs the HTTP solving service: stateless /v1/solve,
+// /v1/validate and /v1/render endpoints plus a stateful /v1/sessions
+// API backed by the dynamic session manager — the shape in which an
+// SDN controller would consume this library.
+//
+// Usage:
+//
+//	sftserve -listen :8080 -network inst.json    # sessions on a file-loaded network
+//	sftserve -listen :8080 -nodes 50             # sessions on a generated network
+//	sftserve -listen :8080 -stateless            # stateless endpoints only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sftree"
+	"sftree/internal/core"
+	"sftree/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sftserve", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", ":8080", "listen address")
+		netFile   = fs.String("network", "", "instance JSON whose network backs the session API")
+		nodes     = fs.Int("nodes", 50, "generate a network of this size when -network is empty")
+		seed      = fs.Int64("seed", 1, "seed for the generated network")
+		stateless = fs.Bool("stateless", false, "serve only the stateless endpoints")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var net *sftree.Network
+	switch {
+	case *stateless:
+		// nil network: session endpoints answer 501.
+	case *netFile != "":
+		blob, err := os.ReadFile(*netFile)
+		if err != nil {
+			return err
+		}
+		var doc sftree.InstanceDoc
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			return fmt.Errorf("parse %s: %w", *netFile, err)
+		}
+		net = doc.Network
+	default:
+		var err error
+		net, err = sftree.GenerateNetwork(sftree.DefaultGenConfig(*nodes, 2), *seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           server.New(net, core.Options{}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("sftserve listening on %s (session API: %v)", *listen, net != nil)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunRejectsMissingNetworkFile(t *testing.T) {
+	if err := run([]string{"-network", "/does/not/exist.json", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("missing network file accepted")
+	}
+}
+
+func TestRunRejectsGarbageNetworkFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-network", path, "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("garbage network file accepted")
+	}
+}
+
+func TestRunRejectsBadListenAddress(t *testing.T) {
+	// An invalid address makes ListenAndServe fail immediately, which
+	// exercises the full startup path (network generation included).
+	if err := run([]string{"-listen", "not-an-address", "-nodes", "10"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "25", "-sessions", "15", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"workload:", "admitted", "per-session cost", "final state: 0 active sessions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPalmettoTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-palmetto", "-sessions", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10 sessions") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-sessions", "0"}, nil); err == nil {
+		t.Error("zero sessions accepted")
+	}
+	if err := run([]string{"-nope"}, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-nodes", "20", "-sessions", "8", "-seed", "5"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different trace results")
+	}
+}

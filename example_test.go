@@ -1,0 +1,95 @@
+package sftree_test
+
+import (
+	"fmt"
+	"math"
+
+	"sftree"
+)
+
+// ExampleSolveTwoStage embeds a two-function chain for a two-receiver
+// multicast on a hand-built network and prints the optimized cost.
+func ExampleSolveTwoStage() {
+	catalog := []sftree.VNF{
+		{ID: 0, Name: "firewall", Demand: 1},
+		{ID: 1, Name: "transcoder", Demand: 1},
+	}
+	net, err := sftree.NewNetworkBuilder(6, catalog).
+		AddLink(0, 1, 1).AddLink(1, 2, 1).AddLink(2, 3, 1).
+		AddLink(1, 4, 2).AddLink(4, 5, 1).AddLink(2, 4, 2.5).
+		SetServer(1, 5).SetServer(2, 5).SetServer(4, 5).
+		SetSetupCost(0, 1, 1).SetSetupCost(0, 2, 1).SetSetupCost(0, 4, 1).
+		SetSetupCost(1, 1, 5).SetSetupCost(1, 2, 5).SetSetupCost(1, 4, 5).
+		Deploy(0, 1).Deploy(1, 2).Deploy(1, 4).
+		Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	task := sftree.Task{Source: 0, Destinations: []int{3, 5}, Chain: sftree.SFC{0, 1}}
+	res, err := sftree.SolveTwoStage(net, task, sftree.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("stage one %.1f, final %.1f, moves %d\n",
+		res.Stage1Cost, res.FinalCost, res.MovesAccepted)
+	// Output: stage one 6.5, final 6.0, moves 1
+}
+
+// ExampleReplay verifies an embedding with the flow-level simulator.
+func ExampleReplay() {
+	net, err := sftree.GenerateNetwork(sftree.DefaultGenConfig(30, 2), 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	task, err := sftree.GenerateTask(net, 2, 4, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sftree.SolveTwoStage(net, task, sftree.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, err := sftree.Replay(net, res.Embedding)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	agree := math.Abs(rep.TotalCost-net.Cost(res.Embedding).Total) < 1e-6
+	fmt.Printf("delivered %d/%d, costs agree: %v\n",
+		rep.Delivered, len(task.Destinations), agree)
+	// Output: delivered 4/4, costs agree: true
+}
+
+// ExampleNewSessionManager shows cross-session instance reuse.
+func ExampleNewSessionManager() {
+	catalog := []sftree.VNF{{ID: 0, Name: "cache", Demand: 1}}
+	net, err := sftree.NewNetworkBuilder(4, catalog).
+		AddLink(0, 1, 1).AddLink(1, 2, 1).AddLink(2, 3, 1).
+		SetServer(1, 1).SetServer(2, 1).
+		SetSetupCost(0, 1, 1).SetSetupCost(0, 2, 1).
+		Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := sftree.NewSessionManager(net, sftree.Options{})
+	task := sftree.Task{Source: 0, Destinations: []int{3}, Chain: sftree.SFC{0}}
+	first, err := m.Admit(task)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	second, err := m.Admit(task)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("first %.0f, second %.0f (instance reused)\n",
+		first.Result.FinalCost, second.Result.FinalCost)
+	// Output: first 4, second 3 (instance reused)
+}

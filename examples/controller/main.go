@@ -1,0 +1,99 @@
+// Controller: consume the solver over HTTP, the way an SDN controller
+// would. The example starts an in-process sftserve instance backed by
+// a PalmettoNet network, then drives it through the typed client:
+// health check, a stateless solve with server-side validation, and a
+// session admit/release cycle.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"sftree"
+	"sftree/internal/core"
+	"sftree/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// In-process server (a real deployment runs cmd/sftserve).
+	net, names, err := sftree.PalmettoNetwork(sftree.DefaultGenConfig(45, 2), 8)
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(server.New(net, core.Options{}))
+	defer ts.Close()
+	fmt.Printf("server up at %s (PalmettoNet, %d nodes)\n\n", ts.URL, net.NumNodes())
+
+	client := server.NewClient(ts.URL, nil)
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		return err
+	}
+
+	// Stateless solve: ship the whole instance, get the SFT back.
+	task, err := sftree.GenerateTask(net, 9, 6, 4)
+	if err != nil {
+		return err
+	}
+	solved, err := client.Solve(ctx, server.SolveRequest{
+		Instance: sftree.InstanceDoc{Network: net, Task: task},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stateless solve: cost %.1f (%.1f setup + %.1f links), %d stage-two moves\n",
+		solved.Cost.Total, solved.Cost.Setup, solved.Cost.Link, solved.Moves)
+
+	// Round-trip the embedding through server-side validation.
+	verdict, err := client.Validate(ctx, server.ValidateRequest{
+		Instance:  sftree.InstanceDoc{Network: net, Task: task},
+		Embedding: solved.Embedding,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server validation: valid=%v, delivered=%d\n\n", verdict.Valid, verdict.Delivered)
+
+	// Session lifecycle on the server's own network state.
+	fmt.Println("admitting three sessions:")
+	var ids []sftree.SessionID
+	for i := int64(0); i < 3; i++ {
+		sessTask, err := sftree.GenerateTask(net, 20+i, 4, 3)
+		if err != nil {
+			return err
+		}
+		admitted, err := client.Admit(ctx, sessTask)
+		if err != nil {
+			fmt.Printf("  session %d rejected: %v\n", i, err)
+			continue
+		}
+		ids = append(ids, admitted.ID)
+		fmt.Printf("  session %d admitted from %s at cost %.1f\n",
+			admitted.ID, names[sessTask.Source], admitted.Cost)
+	}
+	stats, err := client.SessionStats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("manager: %d active, cumulative cost %.1f\n", stats.Active, stats.AdmittedCost)
+
+	for _, id := range ids {
+		if err := client.Release(ctx, id); err != nil {
+			return err
+		}
+	}
+	stats, err = client.SessionStats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after release: %d active sessions\n", stats.Active)
+	return nil
+}

@@ -1,0 +1,75 @@
+// Email security multicast: the paper's introductory example. An NFV
+// provider fans an email feed out to several regional mail clusters;
+// every copy must pass the chain virus-scanner -> spam-filter ->
+// phishing-detector. The example generates a 100-node ISP-like random
+// network with pre-deployed security VNFs, then compares the paper's
+// two-stage algorithm (MSA) with the SCA and RSA baselines across
+// several task sizes, reporting the cost savings claimed in §V.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sftree"
+)
+
+// Chain VNF IDs from the default catalog.
+const (
+	virusScanner     = 11
+	spamFilter       = 12
+	phishingDetector = 13
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net, err := sftree.GenerateNetwork(sftree.DefaultGenConfig(100, 2), 2026)
+	if err != nil {
+		return err
+	}
+	catalog := sftree.DefaultCatalog()
+	chain := sftree.SFC{virusScanner, spamFilter, phishingDetector}
+	fmt.Printf("network: %d nodes, %d links; SFC: %s -> %s -> %s\n\n",
+		net.NumNodes(), net.Graph().NumEdges(),
+		catalog[chain[0]].Name, catalog[chain[1]].Name, catalog[chain[2]].Name)
+
+	fmt.Printf("%10s %12s %12s %12s %14s %14s\n",
+		"|D|", "MSA", "SCA", "RSA", "MSA vs RSA", "SFT moves")
+	for _, nd := range []int{5, 10, 20, 30} {
+		task, err := sftree.GenerateTask(net, int64(nd)*17, nd, len(chain))
+		if err != nil {
+			return err
+		}
+		task.Chain = chain
+
+		msa, err := sftree.SolveTwoStage(net, task, sftree.Options{})
+		if err != nil {
+			return err
+		}
+		sca, err := sftree.SolveSCA(net, task, sftree.Options{})
+		if err != nil {
+			return err
+		}
+		rsa, err := sftree.SolveRSA(net, task, int64(nd), sftree.Options{})
+		if err != nil {
+			return err
+		}
+		// Sanity: all three embeddings must replay cleanly.
+		for _, r := range []*sftree.Result{msa, sca, rsa} {
+			if _, err := sftree.Replay(net, r.Embedding); err != nil {
+				return err
+			}
+		}
+		saving := 100 * (rsa.FinalCost - msa.FinalCost) / rsa.FinalCost
+		fmt.Printf("%10d %12.1f %12.1f %12.1f %13.1f%% %14d\n",
+			nd, msa.FinalCost, sca.FinalCost, rsa.FinalCost, saving, msa.MovesAccepted)
+	}
+	fmt.Println("\nMSA <= SCA <= RSA is the expected ordering; the last column counts")
+	fmt.Println("stage-two instance additions that turned the SFC into a true SFT.")
+	return nil
+}

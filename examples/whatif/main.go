@@ -1,0 +1,69 @@
+// What-if analysis: how the embedding cost reacts to operator knobs.
+// On one fixed 80-node network and task, the example sweeps (a) the
+// VNF setup-cost level mu and (b) the node capacity budget, printing
+// how the two-stage algorithm trades link cost against setup cost and
+// when capacity pressure forces relocations — the operational
+// questions behind the paper's Figs. 10-11.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sftree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== sweep 1: VNF setup cost level (mu x mean shortest path) ===")
+	fmt.Printf("%6s %12s %12s %12s %10s\n", "mu", "total", "setup", "link", "instances")
+	for _, mu := range []float64{0.5, 1, 2, 3, 5} {
+		net, err := sftree.GenerateNetwork(sftree.DefaultGenConfig(80, mu), 99)
+		if err != nil {
+			return err
+		}
+		task, err := sftree.GenerateTask(net, 100, 12, 5)
+		if err != nil {
+			return err
+		}
+		res, err := sftree.SolveTwoStage(net, task, sftree.Options{})
+		if err != nil {
+			return err
+		}
+		bd := net.Cost(res.Embedding)
+		fmt.Printf("%6.1f %12.1f %12.1f %12.1f %10d\n",
+			mu, bd.Total, bd.Setup, bd.Link, len(res.Embedding.NewInstances))
+	}
+	fmt.Println("higher mu shifts the optimizer toward reusing deployed instances")
+	fmt.Println("and fewer, more central new instances (setup grows, link follows).")
+
+	fmt.Println("\n=== sweep 2: node capacity budget ===")
+	fmt.Printf("%10s %12s %14s\n", "capacity", "total", "feasible")
+	for _, capUnits := range []int{1, 2, 3, 5} {
+		cfg := sftree.DefaultGenConfig(80, 2)
+		cfg.CapacityMin, cfg.CapacityMax = capUnits, capUnits
+		cfg.DeployedInstances = 0 // isolate the capacity effect
+		net, err := sftree.GenerateNetwork(cfg, 99)
+		if err != nil {
+			return err
+		}
+		task, err := sftree.GenerateTask(net, 100, 12, 5)
+		if err != nil {
+			return err
+		}
+		res, err := sftree.SolveTwoStage(net, task, sftree.Options{})
+		if err != nil {
+			fmt.Printf("%10d %12s %14v\n", capUnits, "-", err)
+			continue
+		}
+		fmt.Printf("%10d %12.1f %14v\n", capUnits, res.FinalCost, true)
+	}
+	fmt.Println("tight capacities force the repair step to scatter the chain, raising cost;")
+	fmt.Println("with generous capacities the optimizer colocates freely.")
+	return nil
+}

@@ -1,0 +1,25 @@
+package sftree
+
+import (
+	"sftree/internal/baseline"
+	"sftree/internal/forest"
+)
+
+// ForestResult is a multi-source service-overlay-forest embedding.
+type ForestResult = forest.Result
+
+// SolveOneNode runs the pseudo-multicast baseline of Xu et al.
+// (ICDCS'17): the whole chain collapsed onto the single best node,
+// followed by the shared stage-two optimization. Useful as a
+// literature comparison point against SolveTwoStage.
+func SolveOneNode(net *Network, task Task, opts Options) (*Result, error) {
+	return baseline.OneNode(net, task, opts)
+}
+
+// SolveForest embeds several multicast tasks (typically with distinct
+// sources) as a service overlay forest: one SFT per task with VNF
+// instances shared across trees — the multi-source setting of Kuo et
+// al. (ICDCS'17). The input network is not mutated.
+func SolveForest(net *Network, tasks []Task, opts Options) (*ForestResult, error) {
+	return forest.Embed(net, tasks, opts)
+}

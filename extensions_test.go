@@ -1,0 +1,91 @@
+package sftree
+
+import (
+	"testing"
+)
+
+func TestSolveOneNodeComparesToTwoStage(t *testing.T) {
+	net, err := GenerateNetwork(DefaultGenConfig(50, 2), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := GenerateTask(net, 32, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msa, err := SolveTwoStage(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := SolveOneNode(net, task, Options{})
+	if err != nil {
+		t.Skip("no single node can host this chain")
+	}
+	if err := net.Validate(one.Embedding); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// MSA searches a superset of placements including collapsed ones,
+	// so stage-one MSA <= stage-one OneNode; after the shared stage two
+	// the relation typically persists but is not guaranteed — assert
+	// the stage-one relation.
+	if msa.Stage1Cost > one.Stage1Cost+1e-6 {
+		t.Errorf("MSA stage one %v worse than collapsed placement %v",
+			msa.Stage1Cost, one.Stage1Cost)
+	}
+}
+
+func TestSolveForestThroughFacade(t *testing.T) {
+	net, err := GenerateNetwork(DefaultGenConfig(40, 2), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tasks []Task
+	for i := int64(0); i < 3; i++ {
+		task, err := GenerateTask(net, 40+i, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	res, err := SolveForest(net, tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trees) != 3 || res.TotalCost <= 0 {
+		t.Fatalf("forest = %+v", res)
+	}
+	var isolated float64
+	for _, task := range tasks {
+		r, err := SolveTwoStage(net, task, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		isolated += r.FinalCost
+	}
+	if res.TotalCost > isolated+1e-6 {
+		t.Errorf("forest %v more expensive than isolated %v", res.TotalCost, isolated)
+	}
+}
+
+func TestCapacityAwareThroughFacade(t *testing.T) {
+	catalog := []VNF{{ID: 0, Name: "f0", Demand: 1}, {ID: 1, Name: "f1", Demand: 1}}
+	net, err := NewNetworkBuilder(5, catalog).
+		AddLink(0, 1, 1).AddLink(1, 2, 1).AddLink(1, 3, 2).AddLink(3, 2, 2).AddLink(2, 4, 1).
+		SetServer(1, 2).SetServer(2, 2).SetServer(3, 2).
+		SetSetupCost(0, 1, 50).SetSetupCost(0, 2, 50).SetSetupCost(0, 3, 50).
+		SetSetupCost(1, 1, 50).SetSetupCost(1, 2, 50).SetSetupCost(1, 3, 50).
+		Deploy(0, 2).Deploy(1, 1).
+		SetLinkCapacity(1, 2, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := Task{Source: 0, Destinations: []int{4}, Chain: SFC{0, 1}}
+	res, err := SolveCapacityAware(net, task, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := net.LinkViolations(res.Embedding); len(v) != 0 {
+		t.Errorf("violations remain: %v", v)
+	}
+}

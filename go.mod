@@ -1,0 +1,3 @@
+module sftree
+
+go 1.22

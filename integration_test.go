@@ -1,0 +1,158 @@
+package sftree
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestIntegrationFullPipeline drives the whole system end to end on
+// one PalmettoNet instance: generate, serialize, deserialize, solve
+// with every algorithm, cross-check all three cost oracles, render,
+// and tear through the dynamic manager.
+func TestIntegrationFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	net, names, err := PalmettoNetwork(DefaultGenConfig(45, 2), 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := GenerateTask(net, 102, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON round trip first: everything below runs on the decoded copy.
+	blob, err := json.Marshal(InstanceDoc{Network: net, Task: task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc InstanceDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	net, task = doc.Network, doc.Task
+
+	type namedResult struct {
+		name string
+		res  *Result
+	}
+	var results []namedResult
+
+	msa, err := SolveTwoStage(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results = append(results, namedResult{"two-stage", msa})
+
+	if r, err := SolveStageOne(net, task, Options{}); err == nil {
+		results = append(results, namedResult{"stage-one", r})
+		if msa.FinalCost > r.FinalCost+1e-9 {
+			t.Errorf("stage two worsened stage one: %v > %v", msa.FinalCost, r.FinalCost)
+		}
+	}
+	if r, err := SolveSCA(net, task, Options{}); err == nil {
+		results = append(results, namedResult{"sca", r})
+	}
+	if r, err := SolveRSA(net, task, 7, Options{}); err == nil {
+		results = append(results, namedResult{"rsa", r})
+	}
+	if r, err := SolveOneNode(net, task, Options{}); err == nil {
+		results = append(results, namedResult{"one-node", r})
+	}
+	bks, err := SolveBestKnown(net, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results = append(results, namedResult{"best-known", bks})
+
+	for _, nr := range results {
+		if err := net.Validate(nr.res.Embedding); err != nil {
+			t.Fatalf("%s: invalid embedding: %v", nr.name, err)
+		}
+		bd := net.Cost(nr.res.Embedding)
+		if math.Abs(bd.Total-nr.res.FinalCost) > 1e-6 {
+			t.Fatalf("%s: oracle %v != reported %v", nr.name, bd.Total, nr.res.FinalCost)
+		}
+		rep, err := Replay(net, nr.res.Embedding)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", nr.name, err)
+		}
+		if math.Abs(rep.TotalCost-bd.Total) > 1e-6 {
+			t.Fatalf("%s: replay %v != oracle %v", nr.name, rep.TotalCost, bd.Total)
+		}
+		if nr.res.FinalCost < bks.FinalCost-1e-6 {
+			t.Fatalf("%s (%v) beat the best-known reference (%v)",
+				nr.name, nr.res.FinalCost, bks.FinalCost)
+		}
+	}
+
+	// Rendering must produce well-formed SVG mentioning real cities.
+	svg, err := RenderSVG(net, msa.Embedding, names, "integration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "Columbia") {
+		t.Error("svg lost the city labels")
+	}
+
+	// Dynamic manager: admit the same task twice, release both, and
+	// verify the network state is untouched at the end.
+	mgr := NewSessionManager(net.Clone(), Options{})
+	s1, err := mgr.Admit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := mgr.Admit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Result.FinalCost > s1.Result.FinalCost+1e-9 {
+		t.Errorf("second admission (%v) costlier than first (%v) despite reuse",
+			s2.Result.FinalCost, s1.Result.FinalCost)
+	}
+	if err := mgr.Release(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Release(s2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.LiveInstances() != 0 {
+		t.Errorf("%d instances leaked", mgr.LiveInstances())
+	}
+}
+
+// TestIntegrationILPAgreesWithBestKnownOnTinyInstance pins the exact
+// path against the reference path on an instance small enough for both.
+func TestIntegrationILPAgreesWithBestKnownOnTinyInstance(t *testing.T) {
+	catalog := []VNF{{ID: 0, Name: "a", Demand: 1}, {ID: 1, Name: "b", Demand: 1}}
+	net, err := NewNetworkBuilder(5, catalog).
+		AddLink(0, 1, 2).AddLink(1, 2, 1).AddLink(2, 3, 2).AddLink(1, 4, 3).AddLink(4, 3, 1).
+		SetServer(1, 2).SetServer(2, 2).SetServer(4, 2).
+		SetSetupCost(0, 1, 1).SetSetupCost(0, 2, 2).SetSetupCost(0, 4, 1).
+		SetSetupCost(1, 1, 2).SetSetupCost(1, 2, 1).SetSetupCost(1, 4, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := Task{Source: 0, Destinations: []int{3}, Chain: SFC{0, 1}}
+	ilpRes, err := SolveILP(net, task, ILPOptions{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ilpRes.Proven {
+		t.Fatal("tiny instance not proven")
+	}
+	bks, err := SolveBestKnown(net, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single destination + sufficient capacity: stage one is optimal
+	// (Theorem 2) and the exact-Steiner reference must hit the ILP
+	// optimum exactly.
+	if math.Abs(bks.FinalCost-ilpRes.Objective) > 1e-6 {
+		t.Errorf("best-known %v != ILP optimum %v", bks.FinalCost, ilpRes.Objective)
+	}
+}

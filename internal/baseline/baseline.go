@@ -1,0 +1,163 @@
+// Package baseline implements the two benchmark strategies the paper
+// compares MSA against (§V-A): SCA, a greedy minimum-set-cover
+// placement that reuses as few nodes as possible, and RSA, a random
+// placement. Both produce a stage-one feasible solution and then share
+// the paper's stage-two optimization (OPA) via core.OptimizeEmbedding.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sftree/internal/core"
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// ErrNoPlacement reports that a baseline could not place some chain
+// VNF anywhere (no deployed instance and no free capacity).
+var ErrNoPlacement = errors.New("baseline: no feasible placement")
+
+// RSA implements the randomly-selecting algorithm: for every chain
+// VNF, pick a random node among those with a deployed instance; if
+// none exists, pick a random server with enough free capacity and
+// deploy there. Chain hosts are then connected in order with shortest
+// paths and the last host reaches all destinations through a Steiner
+// tree, after which the shared stage-two optimization runs.
+func RSA(net *nfv.Network, task nfv.Task, rng *rand.Rand, opts core.Options) (*core.Result, error) {
+	if err := task.Validate(net); err != nil {
+		return nil, err
+	}
+	free := freeCapacities(net)
+	hosts := make([]int, task.K())
+	for j, f := range task.Chain {
+		vnf, err := net.VNF(f)
+		if err != nil {
+			return nil, err
+		}
+		if deployedNodes := nodesWithDeployed(net, f); len(deployedNodes) > 0 {
+			hosts[j] = deployedNodes[rng.Intn(len(deployedNodes))]
+			continue
+		}
+		candidates := serversWithCapacity(net, free, vnf.Demand)
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("%w: VNF %d", ErrNoPlacement, f)
+		}
+		pick := candidates[rng.Intn(len(candidates))]
+		hosts[j] = pick
+		free[pick] -= vnf.Demand
+	}
+	return finish(net, task, hosts, opts)
+}
+
+// SCA implements the minimum-set-cover algorithm: greedily choose the
+// node whose deployed instances cover the most not-yet-covered chain
+// VNFs until no node adds coverage; any chain VNF still uncovered is
+// deployed on the feasible node nearest its predecessor's host.
+func SCA(net *nfv.Network, task nfv.Task, opts core.Options) (*core.Result, error) {
+	if err := task.Validate(net); err != nil {
+		return nil, err
+	}
+	k := task.K()
+	hosts := make([]int, k)
+	for j := range hosts {
+		hosts[j] = -1
+	}
+	uncovered := make(map[int]int, k) // vnf -> chain position
+	for j, f := range task.Chain {
+		uncovered[f] = j
+	}
+
+	// Greedy set cover over nodes' deployed chain VNFs.
+	for len(uncovered) > 0 {
+		bestNode, bestGain := -1, 0
+		for _, v := range net.Servers() {
+			gain := 0
+			for f := range uncovered {
+				if net.IsDeployed(f, v) {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && v < bestNode) {
+				bestNode, bestGain = v, gain
+			}
+		}
+		if bestGain == 0 {
+			break
+		}
+		for f, j := range uncovered {
+			if net.IsDeployed(f, bestNode) {
+				hosts[j] = bestNode
+				delete(uncovered, f)
+			}
+		}
+	}
+
+	// Deploy the rest: nearest feasible node to the predecessor.
+	free := freeCapacities(net)
+	metric := net.Metric()
+	for j, f := range task.Chain {
+		if hosts[j] != -1 {
+			continue
+		}
+		vnf, err := net.VNF(f)
+		if err != nil {
+			return nil, err
+		}
+		prev := task.Source
+		if j > 0 && hosts[j-1] != -1 {
+			prev = hosts[j-1]
+		}
+		best, bestDist := -1, graph.Inf
+		for _, v := range serversWithCapacity(net, free, vnf.Demand) {
+			if d := metric.Dist[prev][v]; d < bestDist {
+				best, bestDist = v, d
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("%w: VNF %d", ErrNoPlacement, f)
+		}
+		hosts[j] = best
+		free[best] -= vnf.Demand
+	}
+	return finish(net, task, hosts, opts)
+}
+
+// finish routes the last chain host to every destination and runs the
+// shared stage-two optimization.
+func finish(net *nfv.Network, task nfv.Task, hosts []int, opts core.Options) (*core.Result, error) {
+	tails, _, err := core.BuildTails(net, hosts[len(hosts)-1], task.Destinations, opts.Steiner)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return core.OptimizeEmbedding(net, task, hosts, tails, opts)
+}
+
+func freeCapacities(net *nfv.Network) map[int]float64 {
+	free := make(map[int]float64)
+	for _, v := range net.Servers() {
+		free[v] = net.FreeCapacity(v)
+	}
+	return free
+}
+
+func nodesWithDeployed(net *nfv.Network, f int) []int {
+	var out []int
+	for _, v := range net.Servers() {
+		if net.IsDeployed(f, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func serversWithCapacity(net *nfv.Network, free map[int]float64, demand float64) []int {
+	var out []int
+	for _, v := range net.Servers() {
+		if free[v]+1e-9 >= demand {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// testNetwork builds a random connected instance with deployments.
+func testNetwork(rng *rand.Rand, n, k, nd int) (*nfv.Network, nfv.Task) {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, 1+rng.Float64()*9)
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, 1+rng.Float64()*9)
+		}
+	}
+	catalog := make([]nfv.VNF, k+3)
+	for f := range catalog {
+		catalog[f] = nfv.VNF{ID: f, Name: "f", Demand: 1}
+	}
+	net := nfv.NewNetwork(g, catalog)
+	for v := 0; v < n; v++ {
+		if err := net.SetServer(v, float64(2+rng.Intn(4))); err != nil {
+			panic(err)
+		}
+		for f := range catalog {
+			if err := net.SetSetupCost(f, v, 1+rng.Float64()*6); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		f, v := rng.Intn(len(catalog)), rng.Intn(n)
+		if !net.IsDeployed(f, v) && net.FreeCapacity(v) >= 1 {
+			if err := net.Deploy(f, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	perm := rng.Perm(n)
+	task := nfv.Task{Source: perm[0], Destinations: perm[1 : 1+nd], Chain: make(nfv.SFC, k)}
+	for j := range task.Chain {
+		task.Chain[j] = j
+	}
+	return net, task
+}
+
+func TestRSAProducesValidEmbeddings(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		net, task := testNetwork(rng, 10+rng.Intn(10), 1+rng.Intn(4), 1+rng.Intn(4))
+		res, err := RSA(net, task, rng, core.Options{})
+		if errors.Is(err, ErrNoPlacement) || errors.Is(err, core.ErrNoFeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := net.Validate(res.Embedding); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+		if res.FinalCost > res.Stage1Cost+1e-9 {
+			t.Fatalf("trial %d: OPA increased cost", trial)
+		}
+	}
+}
+
+func TestSCAProducesValidEmbeddings(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		net, task := testNetwork(rng, 10+rng.Intn(10), 1+rng.Intn(4), 1+rng.Intn(4))
+		res, err := SCA(net, task, core.Options{})
+		if errors.Is(err, ErrNoPlacement) || errors.Is(err, core.ErrNoFeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := net.Validate(res.Embedding); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestSCAReusesDeployedInstances(t *testing.T) {
+	// Chain (f0, f1); both deployed on node 2. SCA must host the whole
+	// chain there (maximum coverage, minimum nodes) with zero setup.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	catalog := []nfv.VNF{{ID: 0, Name: "a", Demand: 1}, {ID: 1, Name: "b", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	for _, v := range []int{1, 2} {
+		if err := net.SetServer(v, 3); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 2; f++ {
+			if err := net.SetSetupCost(f, v, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := net.Deploy(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Deploy(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0, 1}}
+	res, err := SCA(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Embedding.NewInstances) != 0 {
+		t.Errorf("SCA deployed new instances %v despite full coverage on node 2",
+			res.Embedding.NewInstances)
+	}
+	// Cost: S->2 (2 hops) at level 0..1 plus 2->3: chain 0-1-2 at level
+	// 0, nothing at level 1 (colocated), 2-3 at level 2 = 3.
+	if math.Abs(res.FinalCost-3) > 1e-9 {
+		t.Errorf("cost = %v, want 3", res.FinalCost)
+	}
+}
+
+func TestSCADeploysNearPredecessor(t *testing.T) {
+	// Nothing deployed: SCA deploys each VNF on the feasible node
+	// nearest its predecessor, here the source-adjacent server.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 5)
+	g.MustAddEdge(2, 3, 1)
+	catalog := []nfv.VNF{{ID: 0, Name: "a", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	for _, v := range []int{1, 2} {
+		if err := net.SetServer(v, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SetSetupCost(0, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0}}
+	res, err := SCA(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Embedding.NewInstances) != 1 || res.Embedding.NewInstances[0].Node != 1 {
+		t.Errorf("instances = %v, want one on node 1", res.Embedding.NewInstances)
+	}
+}
+
+func TestRSADeterministicWithSeed(t *testing.T) {
+	rngA := rand.New(rand.NewSource(99))
+	netA, taskA := testNetwork(rngA, 15, 3, 3)
+	resA, errA := RSA(netA, taskA, rngA, core.Options{})
+
+	rngB := rand.New(rand.NewSource(99))
+	netB, taskB := testNetwork(rngB, 15, 3, 3)
+	resB, errB := RSA(netB, taskB, rngB, core.Options{})
+
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("determinism: errA=%v errB=%v", errA, errB)
+	}
+	if errA == nil && math.Abs(resA.FinalCost-resB.FinalCost) > 1e-12 {
+		t.Errorf("same seed, different cost: %v vs %v", resA.FinalCost, resB.FinalCost)
+	}
+}
+
+func TestRSANoCapacityAnywhere(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 1)
+	net := nfv.NewNetwork(g, nfv.DefaultCatalog())
+	if err := net.SetServer(1, 0); err != nil { // zero capacity
+		t.Fatal(err)
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{1}, Chain: nfv.SFC{0}}
+	if _, err := RSA(net, task, rand.New(rand.NewSource(1)), core.Options{}); !errors.Is(err, ErrNoPlacement) {
+		t.Errorf("got %v, want ErrNoPlacement", err)
+	}
+	if _, err := SCA(net, task, core.Options{}); !errors.Is(err, ErrNoPlacement) {
+		t.Errorf("SCA: got %v, want ErrNoPlacement", err)
+	}
+}
+
+func TestBaselinesNeverBeatTheirOwnStageOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		net, task := testNetwork(rng, 12, 2, 3)
+		res, err := SCA(net, task, core.Options{})
+		if err != nil {
+			continue
+		}
+		if res.FinalCost > res.Stage1Cost+1e-9 {
+			t.Fatalf("trial %d: SCA stage two increased cost %v -> %v",
+				trial, res.Stage1Cost, res.FinalCost)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package baseline
+
+import (
+	"fmt"
+
+	"sftree/internal/core"
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// OneNode implements the pseudo-multicast strategy of Xu et al.
+// (ICDCS'17, the paper's reference [16]): the entire SFC is collapsed
+// onto a single server node, sidestepping the ordering constraint.
+// For every candidate node with enough free capacity for all
+// not-yet-deployed chain VNFs, the cost is the source path plus setup
+// plus a Steiner tree to the destinations; the cheapest candidate
+// wins. The shared stage-two optimization then runs, so comparisons
+// against MSA isolate the placement policy. The paper argues this
+// collapsing assumption is impractical under multi-cloud chaining;
+// quantitatively it also loses to true SFT embedding whenever no
+// single node is both cheap to reach and cheap to deploy on.
+func OneNode(net *nfv.Network, task nfv.Task, opts core.Options) (*core.Result, error) {
+	if err := task.Validate(net); err != nil {
+		return nil, err
+	}
+	metric := net.Metric()
+	bestNode := -1
+	bestCost := graph.Inf
+	for _, v := range net.Servers() {
+		if metric.Dist[task.Source][v] == graph.Inf {
+			continue
+		}
+		var setup, demand float64
+		for _, f := range task.Chain {
+			vnf, err := net.VNF(f)
+			if err != nil {
+				return nil, err
+			}
+			if !net.IsDeployed(f, v) {
+				setup += net.SetupCost(f, v)
+				demand += vnf.Demand
+			}
+		}
+		if demand > net.FreeCapacity(v)+1e-9 {
+			continue
+		}
+		_, treeCost, err := core.BuildTails(net, v, task.Destinations, opts.Steiner)
+		if err != nil {
+			continue
+		}
+		cost := metric.Dist[task.Source][v] + setup + treeCost
+		if cost < bestCost {
+			bestNode, bestCost = v, cost
+		}
+	}
+	if bestNode == -1 {
+		return nil, fmt.Errorf("%w: no node can host the whole chain", ErrNoPlacement)
+	}
+	hosts := make([]int, task.K())
+	for j := range hosts {
+		hosts[j] = bestNode
+	}
+	return finish(net, task, hosts, opts)
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+func TestOneNodeCollapsesChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	net, task := testNetwork(rng, 15, 3, 3)
+	res, err := OneNode(net, task, core.Options{})
+	if errors.Is(err, ErrNoPlacement) {
+		t.Skip("no node can host the whole chain on this instance")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// Before stage two, all chain levels share one host: check via the
+	// first destination's serving nodes in the *stage-one* cost... the
+	// final embedding may have been re-branched by OPA, so instead we
+	// assert every new instance of the stage-one placement is colocated:
+	// at minimum the level-1 host must serve level k too for some
+	// destination when no moves were accepted.
+	if res.MovesAccepted == 0 {
+		h := res.Embedding.ServingNode(0, 1)
+		for lvl := 2; lvl <= task.K(); lvl++ {
+			if res.Embedding.ServingNode(0, lvl) != h {
+				t.Errorf("level %d host %d != %d despite zero moves",
+					lvl, res.Embedding.ServingNode(0, lvl), h)
+			}
+		}
+	}
+}
+
+func TestOneNodeNeverBeatsMSAOnChainFriendlyInstance(t *testing.T) {
+	// A line where the chain wants to spread along the path: collapsing
+	// it onto one node forces either a detour or expensive setup.
+	//
+	//	S=0 -1- A=1 -1- B=2 -1- d=3; f0 deployed at A, f1 deployed at B.
+	g := graph.New(4)
+	for v := 1; v < 4; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	catalog := []nfv.VNF{{ID: 0, Name: "a", Demand: 1}, {ID: 1, Name: "b", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	for _, v := range []int{1, 2} {
+		if err := net.SetServer(v, 2); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 2; f++ {
+			if err := net.SetSetupCost(f, v, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := net.Deploy(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Deploy(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0, 1}}
+
+	msa, err := core.Solve(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSA reuses both deployed instances along the path: cost 3.
+	if math.Abs(msa.FinalCost-3) > 1e-9 {
+		t.Fatalf("MSA = %v, want 3", msa.FinalCost)
+	}
+	one, err := OneNode(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collapsing pays a 10-cost setup wherever it lands: strictly worse.
+	if one.FinalCost <= msa.FinalCost {
+		t.Errorf("OneNode %v unexpectedly beats spreading MSA %v", one.FinalCost, msa.FinalCost)
+	}
+}
+
+func TestOneNodeCapacityInfeasible(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	catalog := []nfv.VNF{{ID: 0, Name: "a", Demand: 1}, {ID: 1, Name: "b", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	if err := net.SetServer(1, 1); err != nil { // fits one VNF, chain needs two
+		t.Fatal(err)
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{2}, Chain: nfv.SFC{0, 1}}
+	if _, err := OneNode(net, task, core.Options{}); !errors.Is(err, ErrNoPlacement) {
+		t.Errorf("got %v, want ErrNoPlacement", err)
+	}
+}
+
+func TestOneNodeValidOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		net, task := testNetwork(rng, 12+rng.Intn(8), 1+rng.Intn(3), 1+rng.Intn(4))
+		res, err := OneNode(net, task, core.Options{})
+		if errors.Is(err, ErrNoPlacement) || errors.Is(err, core.ErrNoFeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := net.Validate(res.Embedding); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+	}
+}

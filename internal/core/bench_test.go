@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sftree/internal/mod"
+	"sftree/internal/nfv"
+)
+
+func benchInstance(b *testing.B, n, k, nd int) (*nfv.Network, nfv.Task) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	net, task := randomInstance(rng, n, k, nd)
+	net.Metric() // exclude APSP warm-up from every loop
+	return net, task
+}
+
+func BenchmarkMSAStageOne100(b *testing.B) {
+	net, task := benchInstance(b, 100, 5, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveStageOne(net, task, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoStage100(b *testing.B) {
+	net, task := benchInstance(b, 100, 5, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(net, task, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoStage250LongChain(b *testing.B) {
+	net, task := benchInstance(b, 250, 5, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(net, task, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMODBuildAndSolve200(b *testing.B) {
+	net, task := benchInstance(b, 200, 5, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		overlay, err := mod.Build(net, task.Source, task.Chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlay.SolveSFC()
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sftree/internal/nfv"
+)
+
+// ErrLinkCapacity reports that no embedding satisfying the configured
+// link copy bounds was found within the penalty-iteration budget.
+var ErrLinkCapacity = errors.New("core: link capacities unsatisfiable within budget")
+
+// DefaultCapacityRounds bounds the penalty iterations of
+// SolveCapacityAware when the caller passes 0.
+const DefaultCapacityRounds = 12
+
+// SolveCapacityAware extends the two-stage algorithm with link copy
+// bounds (an extension beyond the paper's model; see nfv.LinkViolations).
+// It iterates a penalty method: solve, find overloaded links, multiply
+// their costs on a reweighted shadow network, and re-solve until the
+// embedding — re-priced and re-validated on the *original* network —
+// carries no overload. Costs in the returned Result always refer to
+// the original network.
+func SolveCapacityAware(net *nfv.Network, task nfv.Task, opts Options, maxRounds int) (*Result, error) {
+	if maxRounds <= 0 {
+		maxRounds = DefaultCapacityRounds
+	}
+	penalty := make(map[[2]int]float64) // canonical pair -> multiplier
+	shadow := net
+	for round := 0; round < maxRounds; round++ {
+		res, err := Solve(shadow, task, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Re-price and re-check on the original network.
+		if err := net.Validate(res.Embedding); err != nil {
+			return nil, fmt.Errorf("core: capacity-aware revalidation: %w", err)
+		}
+		violations := net.LinkViolations(res.Embedding)
+		if len(violations) == 0 {
+			bd := net.Cost(res.Embedding)
+			stage1 := bd.Total // stage-one split is meaningless across reweights
+			return &Result{
+				Embedding:       res.Embedding,
+				Stage1Cost:      stage1,
+				FinalCost:       bd.Total,
+				MovesAccepted:   res.MovesAccepted,
+				CandidatesTried: res.CandidatesTried,
+				LastHost:        res.LastHost,
+			}, nil
+		}
+		// Escalate penalties on the overloaded links.
+		for _, v := range violations {
+			key := [2]int{v.U, v.V}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if penalty[key] == 0 {
+				penalty[key] = 2
+			} else {
+				penalty[key] *= 2
+			}
+		}
+		shadow, err = net.ReweightedCopy(func(u, v int) float64 {
+			key := [2]int{u, v}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if f, ok := penalty[key]; ok {
+				return f
+			}
+			return 1
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: after %d rounds", ErrLinkCapacity, maxRounds)
+}

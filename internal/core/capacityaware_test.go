@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// bottleneckNet: the cheap plan traverses link A-C twice (once per
+// stage, opposite directions) because f0 lives on C and f1 on A, while
+// a pricier bypass C-B-A exists:
+//
+//	S=0 --1-- A=1 --1-- C=2 --1-- d=4
+//	           \        /
+//	            2------B=3
+//
+// Chain (f0 -> f1): stage 0 runs S-A-C (f0@C), stage 1 runs C-A (f1@A,
+// cheapest) or C-B-A (bypass, cost 3), stage 2 runs A-C-d or A-B-C-d.
+func bottleneckNet(t *testing.T) (*nfv.Network, nfv.Task) {
+	t.Helper()
+	g := graph.New(5)
+	g.MustAddEdge(0, 1, 1) // S-A
+	g.MustAddEdge(1, 2, 1) // A-C  (the link to bound)
+	g.MustAddEdge(1, 3, 2) // A-B
+	g.MustAddEdge(3, 2, 2) // B-C
+	g.MustAddEdge(2, 4, 1) // C-d
+	catalog := []nfv.VNF{{ID: 0, Name: "f0", Demand: 1}, {ID: 1, Name: "f1", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	for _, v := range []int{1, 2, 3} {
+		if err := net.SetServer(v, 2); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 2; f++ {
+			if err := net.SetSetupCost(f, v, 50); err != nil { // discourage new instances
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := net.Deploy(0, 2); err != nil { // f0 on C
+		t.Fatal(err)
+	}
+	if err := net.Deploy(1, 1); err != nil { // f1 on A
+		t.Fatal(err)
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{4}, Chain: nfv.SFC{0, 1}}
+	return net, task
+}
+
+func TestCapacityAwareNoBoundsMatchesPlainSolve(t *testing.T) {
+	net, task := bottleneckNet(t)
+	plain, err := Solve(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := SolveCapacityAware(net, task, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.FinalCost != plain.FinalCost {
+		t.Errorf("without bounds: aware %v != plain %v", aware.FinalCost, plain.FinalCost)
+	}
+}
+
+func TestCapacityAwareReroutesAroundBottleneck(t *testing.T) {
+	net, task := bottleneckNet(t)
+	base, err := Solve(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained, the cheap plan crosses A-C at up to three stages
+	// (stage 0 A->C, stage 1 C->A, stage 2 A->C). Bound it to 1 copy.
+	if err := net.SetLinkCapacity(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.LinkViolations(base.Embedding)); got == 0 {
+		t.Fatal("test premise broken: unconstrained plan should overload A-C")
+	}
+	aware, err := SolveCapacityAware(net, task, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := net.LinkViolations(aware.Embedding); len(v) != 0 {
+		t.Fatalf("capacity-aware result still violates: %v", v)
+	}
+	if err := net.Validate(aware.Embedding); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if aware.FinalCost < base.FinalCost-1e-9 {
+		t.Errorf("constrained cost %v below unconstrained %v", aware.FinalCost, base.FinalCost)
+	}
+}
+
+func TestCapacityAwareImpossibleBound(t *testing.T) {
+	// A dead-end spur that must carry two copies (out to the instance
+	// and back) with no alternative route: unsatisfiable.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1) // S - A
+	g.MustAddEdge(1, 2, 1) // A - spur
+	catalog := []nfv.VNF{{ID: 0, Name: "f0", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	if err := net.SetServer(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Deploy(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{0}, Chain: nfv.SFC{0}}
+	if err := net.SetLinkCapacity(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveCapacityAware(net, task, Options{}, 3); !errors.Is(err, ErrLinkCapacity) {
+		t.Errorf("got %v, want ErrLinkCapacity", err)
+	}
+}
+
+func TestLinkCapacityAccessors(t *testing.T) {
+	net, _ := bottleneckNet(t)
+	if err := net.SetLinkCapacity(0, 9, 1); err == nil {
+		t.Error("bounding a non-link accepted")
+	}
+	if err := net.SetLinkCapacity(1, 2, -1); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if err := net.SetLinkCapacity(2, 1, 3); err != nil { // reversed endpoints
+		t.Fatal(err)
+	}
+	if got := net.LinkCapacity(1, 2); got != 3 {
+		t.Errorf("capacity = %d, want 3", got)
+	}
+	if err := net.SetLinkCapacity(1, 2, 0); err != nil { // clear
+		t.Fatal(err)
+	}
+	if got := net.LinkCapacity(2, 1); got != 0 {
+		t.Errorf("cleared capacity = %d", got)
+	}
+}
+
+func TestLinkCapacitySurvivesClone(t *testing.T) {
+	net, _ := bottleneckNet(t)
+	if err := net.SetLinkCapacity(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	c := net.Clone()
+	if got := c.LinkCapacity(1, 2); got != 2 {
+		t.Errorf("clone capacity = %d, want 2", got)
+	}
+	if err := c.SetLinkCapacity(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.LinkCapacity(1, 2); got != 2 {
+		t.Errorf("clone mutation leaked: %d", got)
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sftree/internal/graph"
+	"sftree/internal/mod"
+	"sftree/internal/nfv"
+	"sftree/internal/steiner"
+)
+
+// SteinerAlgo selects the Steiner-tree routine used by stage one.
+type SteinerAlgo int
+
+const (
+	// SteinerKMB is the Kou-Markowsky-Berman 2-approximation (default).
+	SteinerKMB SteinerAlgo = iota + 1
+	// SteinerTM is the Takahashi-Matsuyama path-growing heuristic.
+	SteinerTM
+	// SteinerMehlhorn is Mehlhorn's Voronoi-region 2-approximation,
+	// cheaper per call than KMB on large sparse networks.
+	SteinerMehlhorn
+)
+
+// Options tunes the two-stage algorithm. The zero value picks the
+// paper's configuration: KMB trees, every server considered as the
+// last-VNF host, and global-recompute move acceptance in stage two.
+type Options struct {
+	// Steiner selects the stage-one Steiner routine (default KMB).
+	Steiner SteinerAlgo
+	// MaxCandidateHosts, when positive, restricts stage one to the
+	// cheapest-chain candidates instead of all servers (ablation).
+	MaxCandidateHosts int
+	// LocalAcceptance makes stage two accept moves on the paper's
+	// local rule alone instead of verifying the recomputed global
+	// cost (ablation). Capacity feasibility is still enforced.
+	LocalAcceptance bool
+	// MaxOPAPasses repeats the whole stage-two sweep (levels k..1)
+	// until a pass accepts no move or the budget is exhausted,
+	// implementing the paper's "repeat the above procedures until one
+	// VNF cannot be deployed on multiple nodes". Zero means one pass.
+	MaxOPAPasses int
+	// AggressiveOPA is an extension beyond the paper: stage two also
+	// considers dependent root-to-leaf paths (the paper discards them)
+	// and probes the best candidate host even when the local rule is
+	// not strictly satisfied. Every move is still gated on the
+	// recomputed global cost, so the result can only improve; the
+	// trade-off is more trial evaluations. Incompatible with
+	// LocalAcceptance (which has no global gate) — ignored there.
+	AggressiveOPA bool
+}
+
+func (o Options) opaPasses() int {
+	if o.MaxOPAPasses <= 0 {
+		return 1
+	}
+	return o.MaxOPAPasses
+}
+
+func (o Options) steiner() SteinerAlgo {
+	if o.Steiner == 0 {
+		return SteinerKMB
+	}
+	return o.Steiner
+}
+
+// StageStats reports how stage one reached its feasible solution.
+type StageStats struct {
+	CandidatesTried int
+	Stage1Cost      float64
+	LastHost        int
+}
+
+// runMSA implements Algorithm 2: embed the SFC via the expanded MOD
+// network, repair capacity violations, and connect the last VNF host
+// to all destinations with a Steiner tree, trying every candidate
+// host and keeping the cheapest feasible combination.
+func runMSA(net *nfv.Network, task nfv.Task, opts Options) (*state, *StageStats, error) {
+	if err := task.Validate(net); err != nil {
+		return nil, nil, err
+	}
+	overlay, err := mod.Build(net, task.Source, task.Chain)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: stage one: %w", err)
+	}
+	sol := overlay.SolveSFC()
+	metric := net.Metric()
+
+	candidates := net.Servers()
+	sort.Slice(candidates, func(a, b int) bool {
+		return sol.CostTo(candidates[a]) < sol.CostTo(candidates[b])
+	})
+	if opts.MaxCandidateHosts > 0 && len(candidates) > opts.MaxCandidateHosts {
+		candidates = candidates[:opts.MaxCandidateHosts]
+	}
+
+	var (
+		bestState *state
+		bestCost  = graph.Inf
+		stats     StageStats
+	)
+	for _, w := range candidates {
+		if sol.CostTo(w) == graph.Inf {
+			continue
+		}
+		hosts := sol.HostsTo(w)
+		if hosts == nil {
+			continue
+		}
+		stats.CandidatesTried++
+		hosts, ok := repairCapacity(net, task, hosts)
+		if !ok {
+			continue
+		}
+		chainCost := overlay.ChainCost(hosts)
+		last := hosts[len(hosts)-1]
+
+		tree, err := buildSteiner(net, metric, last, task.Destinations, opts.steiner())
+		if err != nil {
+			continue // some destination unreachable from this host
+		}
+		total := chainCost + tree.Cost
+		if total >= bestCost {
+			continue
+		}
+		st, err := stateFromSolution(net, task, hosts, tree)
+		if err != nil {
+			continue
+		}
+		bestCost = total
+		bestState = st
+		stats.LastHost = last
+	}
+	if bestState == nil {
+		return nil, nil, fmt.Errorf("%w: no candidate last host admits a feasible solution", ErrNoFeasible)
+	}
+	stats.Stage1Cost = bestCost
+	return bestState, &stats, nil
+}
+
+// BuildTails connects root to all destinations with the selected
+// Steiner routine and returns the per-destination tree paths, the form
+// OptimizeEmbedding consumes. Baseline strategies use it to finish
+// their stage-one solutions the same way MSA does.
+func BuildTails(net *nfv.Network, root int, dests []int, algo SteinerAlgo) ([][]int, float64, error) {
+	tree, err := buildSteiner(net, net.Metric(), root, dests, algo)
+	if err != nil {
+		return nil, 0, err
+	}
+	paths, err := treePaths(net.Graph(), tree, root, dests)
+	if err != nil {
+		return nil, 0, err
+	}
+	return paths, tree.Cost, nil
+}
+
+// buildSteiner connects root to all destinations with the selected
+// Steiner routine.
+func buildSteiner(net *nfv.Network, metric *graph.Metric, root int, dests []int, algo SteinerAlgo) (steiner.Tree, error) {
+	terminals := append([]int{root}, dests...)
+	switch algo {
+	case SteinerTM:
+		return steiner.TakahashiMatsuyama(net.Graph(), metric, root, dests)
+	case SteinerMehlhorn:
+		return steiner.Mehlhorn(net.Graph(), terminals)
+	default:
+		return steiner.KMB(net.Graph(), metric, terminals)
+	}
+}
+
+// RepairChainHosts exposes the stage-one capacity-repair rule so that
+// external reference solvers sweep candidate hosts under the same
+// feasibility policy. It returns the repaired host sequence and
+// whether a feasible placement exists.
+func RepairChainHosts(net *nfv.Network, task nfv.Task, hosts []int) ([]int, bool) {
+	return repairCapacity(net, task, hosts)
+}
+
+// TailsFromEdges converts an explicit tree edge set into the
+// per-destination root paths OptimizeEmbedding consumes.
+func TailsFromEdges(net *nfv.Network, root int, dests []int, edges []int) ([][]int, error) {
+	return treePaths(net.Graph(), steiner.Tree{Edges: edges}, root, dests)
+}
+
+// repairCapacity walks the chain hosts in order, reserving capacity
+// for each new instance, and relocates any VNF whose host is full to
+// the feasible node minimizing connection-plus-setup cost (the paper's
+// adjustment rule). It reports failure when some VNF fits nowhere.
+func repairCapacity(net *nfv.Network, task nfv.Task, hosts []int) ([]int, bool) {
+	k := len(hosts)
+	out := append([]int(nil), hosts...)
+	metric := net.Metric()
+	free := make(map[int]float64)
+	for _, v := range net.Servers() {
+		free[v] = net.FreeCapacity(v)
+	}
+	for j := 0; j < k; j++ {
+		f := task.Chain[j]
+		h := out[j]
+		vnf, err := net.VNF(f)
+		if err != nil {
+			return nil, false
+		}
+		if net.IsDeployed(f, h) {
+			continue // reuse, no capacity consumed
+		}
+		if free[h]+1e-9 >= vnf.Demand {
+			free[h] -= vnf.Demand
+			continue
+		}
+		// Relocate: choose the node minimizing link cost to both chain
+		// neighbours plus setup cost, among nodes that can host f.
+		prev := task.Source
+		if j > 0 {
+			prev = out[j-1]
+		}
+		best, bestCost := -1, graph.Inf
+		for _, u := range net.Servers() {
+			reuse := net.IsDeployed(f, u)
+			if !reuse && free[u]+1e-9 < vnf.Demand {
+				continue
+			}
+			c := metric.Dist[prev][u] + net.SetupCost(f, u)
+			if j+1 < k {
+				c += metric.Dist[u][out[j+1]]
+			}
+			if c < bestCost {
+				best, bestCost = u, c
+			}
+		}
+		if best == -1 {
+			return nil, false
+		}
+		out[j] = best
+		if !net.IsDeployed(f, best) {
+			free[best] -= vnf.Demand
+		}
+	}
+	return out, true
+}
+
+// stateFromSolution assembles the stage-one state: every destination
+// is served by the single chain host sequence, and tails follow the
+// Steiner tree from the last host.
+func stateFromSolution(net *nfv.Network, task nfv.Task, hosts []int, tree steiner.Tree) (*state, error) {
+	s := newState(net, task)
+	k := task.K()
+	last := hosts[k-1]
+	paths, err := treePaths(net.Graph(), tree, last, task.Destinations)
+	if err != nil {
+		return nil, err
+	}
+	for di := range task.Destinations {
+		for j := 1; j <= k; j++ {
+			s.serve[di][j] = hosts[j-1]
+		}
+		s.tail[di] = paths[di]
+	}
+	return s, nil
+}
+
+// treePaths returns, for each destination, the unique path from root
+// to it along the tree's edges.
+func treePaths(g *graph.Graph, tree steiner.Tree, root int, dests []int) ([][]int, error) {
+	parent := make(map[int]int)
+	adj := make(map[int][]int)
+	for _, id := range tree.Edges {
+		e := g.Edge(id)
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	parent[root] = -1
+	stack := []int{root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if _, seen := parent[v]; !seen {
+				parent[v] = u
+				stack = append(stack, v)
+			}
+		}
+	}
+	out := make([][]int, len(dests))
+	for i, d := range dests {
+		if d == root {
+			out[i] = []int{root}
+			continue
+		}
+		if _, ok := parent[d]; !ok {
+			return nil, fmt.Errorf("%w: destination %d not in the Steiner tree", ErrNoFeasible, d)
+		}
+		var rev []int
+		for x := d; x != -1; x = parent[x] {
+			rev = append(rev, x)
+		}
+		for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+			rev[a], rev[b] = rev[b], rev[a]
+		}
+		out[i] = rev
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sftree/internal/graph"
+)
+
+const costEps = 1e-9
+
+// runOPA repeats runOPAPass up to Options.MaxOPAPasses times, stopping
+// early once a pass accepts nothing.
+func runOPA(s *state, opts Options) (int, error) {
+	total := 0
+	for pass := 0; pass < opts.opaPasses(); pass++ {
+		moves, err := runOPAPass(s, opts)
+		total += moves
+		if err != nil || moves == 0 {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// runOPAPass implements Algorithm 3: starting from the stage-one state,
+// add new VNF instances in inverted chain order (Theorem 4) wherever a
+// connection node can be re-homed more cheaply. Move candidates follow
+// the paper's local rule c(x,E) + c(E,pred) + gamma < c(x,cur); moves
+// are accepted only if the recomputed global cost strictly drops
+// (unless Options.LocalAcceptance asks for the paper's raw rule).
+// It returns the number of accepted moves.
+func runOPAPass(s *state, opts Options) (int, error) {
+	k := s.task.K()
+	metric := s.net.Metric()
+	curCost, err := s.cost()
+	if err != nil {
+		return 0, err
+	}
+
+	// Connection groups for the level-k round: per independent
+	// root-to-leaf path of the stage-one Steiner tree, the destination
+	// nearest the root, together with every destination downstream.
+	aggressive := opts.AggressiveOPA && !opts.LocalAcceptance
+	groups := s.initialConnectionGroups(aggressive)
+	moves := 0
+	if DebugOPA {
+		fmt.Printf("  [opa] %d initial groups (of %d dests)\n", len(groups), len(s.task.Destinations))
+	}
+
+	for j := k; j >= 1; j-- {
+		f := s.task.Chain[j-1]
+		if _, err := s.net.VNF(f); err != nil {
+			return moves, err
+		}
+		var nextConn []int // nodes hosting the instances added at level j
+		for _, grp := range groups {
+			if len(grp.members) == 0 {
+				continue
+			}
+			cur := s.serve[grp.members[0]][j]
+			pred := s.serve[grp.members[0]][j-1]
+			curScore := metric.Dist[grp.node][cur]
+			if grp.node == cur {
+				continue // already colocated; nothing to gain
+			}
+
+			// Find the best alternative host E by the local rule.
+			bestE, bestScore := -1, graph.Inf
+			for _, u := range s.net.Servers() {
+				if u == cur {
+					continue
+				}
+				if metric.Dist[grp.node][u] == graph.Inf || metric.Dist[u][pred] == graph.Inf {
+					continue
+				}
+				if !s.canHost(f, u) {
+					continue
+				}
+				score := metric.Dist[grp.node][u] + metric.Dist[u][pred] + s.instanceSetupCost(f, u)
+				if score < bestScore {
+					bestE, bestScore = u, score
+				}
+			}
+			if DebugOPA {
+				fmt.Printf("  [opa] level %d conn %d (|grp|=%d): cur=%d curScore=%.1f bestE=%d bestScore=%.1f\n",
+					j, grp.node, len(grp.members), cur, curScore, bestE, bestScore)
+			}
+			if bestE == -1 {
+				continue
+			}
+			// The paper's local gate; aggressive mode defers entirely to
+			// the global acceptance check below.
+			if !aggressive && bestScore >= curScore-costEps {
+				continue
+			}
+
+			trial := s.clone()
+			trial.applyMove(j, grp, bestE, metric)
+			if opts.LocalAcceptance {
+				*s = *trial
+				moves++
+				nextConn = append(nextConn, bestE)
+				if c, err := s.cost(); err == nil {
+					curCost = c
+				}
+				continue
+			}
+			trialCost, err := trial.cost()
+			if err != nil || trialCost >= curCost-costEps {
+				continue
+			}
+			*s = *trial
+			curCost = trialCost
+			moves++
+			nextConn = append(nextConn, bestE)
+		}
+		if len(nextConn) == 0 {
+			break // Theorem 4: earlier levels cannot branch either
+		}
+		groups = s.groupsAt(j, nextConn)
+	}
+	return moves, nil
+}
+
+// connGroup is one re-homing opportunity: a connection node plus the
+// destination indices that route through it.
+type connGroup struct {
+	node    int   // the connection node (a destination for level k, an instance node below)
+	members []int // destination indices re-homed together
+}
+
+// initialConnectionGroups decomposes the stage-one Steiner tree into
+// root-to-leaf paths, discards the dependent ones (those sharing a
+// physical edge with the embedded SFC) unless aggressive mode keeps
+// them, and returns one group per connection node: the destination
+// nearest the root on a kept path, owning every destination whose
+// tail passes through it.
+func (s *state) initialConnectionGroups(aggressive bool) []connGroup {
+	k := s.task.K()
+	isDest := make(map[int]bool, len(s.task.Destinations))
+	for _, d := range s.task.Destinations {
+		isDest[d] = true
+	}
+	// Physical edges used by the SFC part of the walks (levels < k).
+	metric := s.net.Metric()
+	sfcEdges := make(map[[2]int]bool)
+	for di := range s.serve {
+		for j := 0; j < k; j++ {
+			p := metric.Path(s.serve[di][j], s.serve[di][j+1])
+			for i := 1; i < len(p); i++ {
+				sfcEdges[edgeKey(p[i-1], p[i])] = true
+			}
+		}
+	}
+
+	// Leaves of the tail forest: destinations whose tail is not a
+	// proper prefix of another tail. Simpler: a node is a leaf if no
+	// other tail extends beyond it; we just treat every destination's
+	// tail as a root-to-leaf candidate, which is equivalent for
+	// connection-node discovery.
+	seen := make(map[int]bool)
+	var groups []connGroup
+	for di := range s.tail {
+		tail := s.tail[di]
+		// Independence: the whole root-to-leaf path must avoid SFC edges.
+		if !aggressive {
+			dependent := false
+			for i := 1; i < len(tail); i++ {
+				if sfcEdges[edgeKey(tail[i-1], tail[i])] {
+					dependent = true
+					break
+				}
+			}
+			if dependent {
+				continue
+			}
+		}
+		// Connection node: first destination on the tail after the root.
+		conn := -1
+		for _, v := range tail[1:] {
+			if isDest[v] {
+				conn = v
+				break
+			}
+		}
+		if conn == -1 || seen[conn] {
+			continue
+		}
+		seen[conn] = true
+		groups = append(groups, connGroup{node: conn, members: s.destsThrough(conn)})
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].node < groups[b].node })
+	return groups
+}
+
+// destsThrough returns the indices of destinations whose tail passes
+// through node x.
+func (s *state) destsThrough(x int) []int {
+	var out []int
+	for di, tail := range s.tail {
+		for _, v := range tail {
+			if v == x {
+				out = append(out, di)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// groupsAt returns the connection groups for level j: one group per
+// distinct node in conn, containing the destinations it serves at
+// level j+1.
+func (s *state) groupsAt(j int, conn []int) []connGroup {
+	sort.Ints(conn)
+	var groups []connGroup
+	seen := make(map[int]bool, len(conn))
+	for _, e := range conn {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		var members []int
+		for di := range s.serve {
+			if s.serve[di][j] == e {
+				members = append(members, di)
+			}
+		}
+		if len(members) > 0 {
+			groups = append(groups, connGroup{node: e, members: members})
+		}
+	}
+	return groups
+}
+
+// instanceSetupCost prices a new instance of f at u for the local
+// rule: zero when deployed or already placed in the current state.
+func (s *state) instanceSetupCost(f, u int) float64 {
+	if s.net.IsDeployed(f, u) {
+		return 0
+	}
+	for _, inst := range s.placedInstances() {
+		if inst.VNF == f && inst.Node == u {
+			return 0
+		}
+	}
+	return s.net.SetupCost(f, u)
+}
+
+// applyMove re-homes the group's members onto a new level-j instance
+// at node e. For the last level the explicit tails are rewritten (the
+// new route runs e -> connection node -> old downstream suffix); for
+// inner levels only the serving assignment changes, and the walk
+// segments follow metric paths automatically.
+func (s *state) applyMove(j int, grp connGroup, e int, metric *graph.Metric) {
+	k := s.task.K()
+	for _, di := range grp.members {
+		s.serve[di][j] = e
+	}
+	if j != k {
+		return
+	}
+	head := metric.Path(e, grp.node)
+	for _, di := range grp.members {
+		old := s.tail[di]
+		idx := -1
+		for i, v := range old {
+			if v == grp.node {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			// Member does not route through the connection node (should
+			// not happen; keep a safe fallback route).
+			s.tail[di] = metric.Path(e, s.task.Destinations[di])
+			continue
+		}
+		nt := append([]int(nil), head...)
+		nt = append(nt, old[idx+1:]...)
+		s.tail[di] = nt
+	}
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// DebugOPA, when set, prints stage-two group and candidate diagnostics
+// to stdout. Test-and-tooling aid only.
+var DebugOPA bool

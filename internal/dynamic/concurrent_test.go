@@ -1,0 +1,63 @@
+package dynamic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+// TestConcurrentAdmitRelease hammers the manager from many goroutines;
+// run with -race to catch synchronization bugs. Every admitted session
+// is released, so the network must end clean.
+func TestConcurrentAdmitRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	net, err := netgen.Generate(netgen.PaperConfig(40, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]nfv.Task, 16)
+	for i := range tasks {
+		task, err := netgen.GenerateTask(net, rng, 2+i%3, 2+i%2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = task
+	}
+	m := NewManager(net, core.Options{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(tasks))
+	for _, task := range tasks {
+		wg.Add(1)
+		go func(task nfv.Task) {
+			defer wg.Done()
+			sess, err := m.Admit(task)
+			if err != nil {
+				return // rejection under races is acceptable
+			}
+			_ = m.Active() // concurrent reads
+			if err := m.Release(sess.ID); err != nil {
+				errs <- err
+			}
+		}(task)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("release: %v", err)
+	}
+	if m.Active() != 0 {
+		t.Errorf("%d sessions leaked", m.Active())
+	}
+	if m.LiveInstances() != 0 {
+		t.Errorf("%d instances leaked", m.LiveInstances())
+	}
+	stats := m.Stats()
+	if stats.Admitted+stats.Rejected != len(tasks) {
+		t.Errorf("stats = %+v, want %d total", stats, len(tasks))
+	}
+}

@@ -1,0 +1,196 @@
+// Package dynamic manages the lifecycle of many multicast sessions
+// over one shared network — the dynamic service-chaining setting the
+// paper's related work (§II, [13][24]) points at. Every admitted
+// session runs the two-stage SFT embedding against the network's
+// *current* deployment state, so instances installed for earlier
+// sessions are reused at zero setup cost; capacity consumed by live
+// instances blocks later over-subscription; and departing sessions
+// release their instances once the last subscriber leaves
+// (reference-counted ownership).
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sftree/internal/core"
+	"sftree/internal/nfv"
+)
+
+var (
+	// ErrRejected reports an arrival the network could not host.
+	ErrRejected = errors.New("dynamic: session rejected")
+	// ErrUnknownSession reports a release for an unknown session ID.
+	ErrUnknownSession = errors.New("dynamic: unknown session")
+)
+
+// SessionID identifies an admitted session.
+type SessionID int
+
+// Session is one live multicast task and its embedding.
+type Session struct {
+	ID   SessionID
+	Task nfv.Task
+	// Result is the solver outcome at admission time; its cost reflects
+	// the deployment state back then (reused instances were free).
+	Result *core.Result
+	// uses lists the (vnf, node) instances this session's flows
+	// traverse, including ones inherited from earlier sessions.
+	uses [][2]int
+}
+
+// Manager admits and releases sessions over a shared network. All
+// methods are safe for concurrent use: admissions serialize on an
+// internal mutex, since each one reads and mutates the shared
+// deployment state.
+type Manager struct {
+	mu   sync.Mutex
+	net  *nfv.Network
+	opts core.Options
+
+	nextID   SessionID
+	sessions map[SessionID]*Session
+	// refs counts live sessions per dynamically deployed instance.
+	// Instances pre-deployed at construction time are permanent and
+	// never appear here.
+	refs map[[2]int]int
+
+	admitted, rejected int
+	admittedCost       float64
+}
+
+// NewManager wraps a network for dynamic session management. The
+// network is owned by the manager afterwards: its deployment state
+// mutates as sessions come and go.
+func NewManager(net *nfv.Network, opts core.Options) *Manager {
+	return &Manager{
+		net:      net,
+		opts:     opts,
+		sessions: make(map[SessionID]*Session),
+		refs:     make(map[[2]int]int),
+	}
+}
+
+// Network exposes the managed network (read-only use expected).
+func (m *Manager) Network() *nfv.Network { return m.net }
+
+// Admit solves the task against the current deployment state,
+// installs its new instances, and reference-counts every dynamic
+// instance its flows traverse. A solver failure (no capacity, no
+// route) yields ErrRejected with the cause wrapped.
+func (m *Manager) Admit(task nfv.Task) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res, err := core.Solve(m.net, task, m.opts)
+	if err != nil {
+		m.rejected++
+		return nil, fmt.Errorf("%w: %w", ErrRejected, err)
+	}
+	// Install the brand-new instances.
+	for _, inst := range res.Embedding.NewInstances {
+		if err := m.net.Deploy(inst.VNF, inst.Node); err != nil {
+			// Roll back what we already installed; this indicates a
+			// solver bug (validated embeddings must fit capacity).
+			m.rollback(res.Embedding.NewInstances, inst)
+			m.rejected++
+			return nil, fmt.Errorf("%w: install: %w", ErrRejected, err)
+		}
+	}
+	sess := &Session{ID: m.nextID, Task: task.CloneTask(), Result: res}
+	m.nextID++
+
+	// Reference every dynamic instance the session traverses: new ones
+	// plus previously installed ones it reuses.
+	seen := make(map[[2]int]bool)
+	for di := range task.Destinations {
+		for lvl := 1; lvl <= task.K(); lvl++ {
+			key := [2]int{task.Chain[lvl-1], res.Embedding.ServingNode(di, lvl)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if _, dynamicInst := m.refs[key]; dynamicInst {
+				m.refs[key]++
+				sess.uses = append(sess.uses, key)
+			}
+		}
+	}
+	for _, inst := range res.Embedding.NewInstances {
+		key := [2]int{inst.VNF, inst.Node}
+		m.refs[key]++ // first reference for a fresh instance
+		sess.uses = append(sess.uses, key)
+	}
+	m.sessions[sess.ID] = sess
+	m.admitted++
+	m.admittedCost += res.FinalCost
+	return sess, nil
+}
+
+// rollback undoes deployments up to (excluding) the failing one.
+func (m *Manager) rollback(insts []nfv.Instance, failed nfv.Instance) {
+	for _, inst := range insts {
+		if inst == failed {
+			return
+		}
+		_ = m.net.Undeploy(inst.VNF, inst.Node)
+	}
+}
+
+// Release tears a session down: every dynamic instance it referenced
+// is decremented and undeployed once no live session uses it.
+func (m *Manager) Release(id SessionID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sess, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	delete(m.sessions, id)
+	for _, key := range sess.uses {
+		m.refs[key]--
+		if m.refs[key] > 0 {
+			continue
+		}
+		delete(m.refs, key)
+		if err := m.net.Undeploy(key[0], key[1]); err != nil {
+			return fmt.Errorf("dynamic: release %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Active returns the number of live sessions.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// LiveInstances returns the number of dynamically deployed instances
+// currently installed.
+func (m *Manager) LiveInstances() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.refs)
+}
+
+// Stats summarizes the manager's history.
+type Stats struct {
+	Admitted     int     `json:"admitted"`
+	Rejected     int     `json:"rejected"`
+	Active       int     `json:"active"`
+	AdmittedCost float64 `json:"admitted_cost"` // sum of admission-time costs
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Admitted:     m.admitted,
+		Rejected:     m.rejected,
+		Active:       len(m.sessions),
+		AdmittedCost: m.admittedCost,
+	}
+}

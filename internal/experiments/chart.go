@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartWidth is the bar area width in characters.
+const chartWidth = 46
+
+// CostChart renders the figure's mean-cost series as horizontal ASCII
+// bar charts, one block per x value — a terminal-friendly stand-in for
+// the paper's plots when no plotting stack is available.
+func (f *Figure) CostChart() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+
+	// Global scale across the whole figure so bars are comparable
+	// between x values.
+	maxVal := 0.0
+	for _, row := range f.Rows {
+		for _, algo := range f.AlgOrder {
+			if st, ok := row.Algos[algo]; ok && st.Cost.Mean() > maxVal {
+				maxVal = st.Cost.Mean()
+			}
+		}
+	}
+	if maxVal <= 0 || math.IsInf(maxVal, 0) || math.IsNaN(maxVal) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	algoWidth := 0
+	for _, algo := range f.AlgOrder {
+		if len(algo) > algoWidth {
+			algoWidth = len(algo)
+		}
+	}
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%s = %g\n", f.XLabel, row.X)
+		for _, algo := range f.AlgOrder {
+			st, ok := row.Algos[algo]
+			if !ok || st.Cost.N() == 0 {
+				continue
+			}
+			mean := st.Cost.Mean()
+			bars := int(math.Round(mean / maxVal * chartWidth))
+			if bars < 1 && mean > 0 {
+				bars = 1
+			}
+			fmt.Fprintf(&b, "  %-*s %s %.1f\n", algoWidth, algo, strings.Repeat("#", bars), mean)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sftree/internal/metrics"
+)
+
+// CostTable renders the figure's traffic-delivery-cost series as an
+// aligned text table, one row per x value and one column per
+// algorithm, mirroring subfigure (a) of each paper figure.
+func (f *Figure) CostTable() string {
+	return f.table("traffic delivery cost", func(s *Stat) string {
+		return fmt.Sprintf("%10.1f ±%-8.1f", s.Cost.Mean(), s.Cost.StdDev())
+	})
+}
+
+// TimeTable renders the running-time series (milliseconds), mirroring
+// subfigure (b) of each paper figure.
+func (f *Figure) TimeTable() string {
+	return f.table("running time (ms)", func(s *Stat) string {
+		return fmt.Sprintf("%10.2f ±%-8.2f", s.TimeMS.Mean(), s.TimeMS.StdDev())
+	})
+}
+
+func (f *Figure) table(caption string, cell func(*Stat) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s [%s]\n", strings.ToUpper(f.ID), f.Title, caption)
+	fmt.Fprintf(&b, "%12s", f.XLabel)
+	for _, algo := range f.AlgOrder {
+		fmt.Fprintf(&b, " %-20s", algo)
+	}
+	b.WriteByte('\n')
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%12g", row.X)
+		for _, algo := range f.AlgOrder {
+			st, ok := row.Algos[algo]
+			if !ok || st.Cost.N() == 0 {
+				fmt.Fprintf(&b, " %-20s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %-20s", cell(st))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure in long form:
+// figure,x,algorithm,cost_mean,cost_std,time_ms_mean,time_ms_std,trials.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,x,algorithm,cost_mean,cost_std,time_ms_mean,time_ms_std,trials\n")
+	for _, row := range f.Rows {
+		for _, algo := range f.AlgOrder {
+			st, ok := row.Algos[algo]
+			if !ok || st.Cost.N() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%g,%s,%.4f,%.4f,%.4f,%.4f,%d\n",
+				f.ID, row.X, algo,
+				st.Cost.Mean(), st.Cost.StdDev(),
+				st.TimeMS.Mean(), st.TimeMS.StdDev(), st.Cost.N())
+		}
+	}
+	return b.String()
+}
+
+// Summary reports the paper's headline comparisons for the figure: the
+// average and maximum cost reduction of MSA relative to RSA across the
+// sweep, and — when the optimality reference ran — the average
+// empirical approximation ratio of MSA.
+func (f *Figure) Summary() string {
+	var redAvg metrics.Sample
+	redMax := 0.0
+	var ratio metrics.Sample
+	for _, row := range f.Rows {
+		msa, okM := row.Algos[AlgoMSA]
+		rsa, okR := row.Algos[AlgoRSA]
+		if okM && okR && rsa.Cost.Mean() > 0 {
+			red := metrics.ReductionPct(rsa.Cost.Mean(), msa.Cost.Mean())
+			redAvg.Add(red)
+			if red > redMax {
+				redMax = red
+			}
+		}
+		if opt, ok := row.Algos[AlgoOPT]; ok && okM && opt.Cost.N() > 0 && opt.Cost.Mean() > 0 {
+			ratio.Add(msa.Cost.Mean() / opt.Cost.Mean())
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s summary:", strings.ToUpper(f.ID))
+	if redAvg.N() > 0 {
+		fmt.Fprintf(&b, " MSA vs RSA cost reduction avg %.2f%%, max %.2f%%", redAvg.Mean(), redMax)
+	}
+	if ratio.N() > 0 {
+		if redAvg.N() > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, " MSA/OPT* ratio avg %.3f", ratio.Mean())
+	}
+	if redAvg.N() == 0 && ratio.N() == 0 {
+		b.WriteString(" (no MSA-relative series)")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

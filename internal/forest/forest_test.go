@@ -1,0 +1,144 @@
+package forest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+func forestInstance(t *testing.T, seed int64, numTasks int) (*nfv.Network, []nfv.Task) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := netgen.Generate(netgen.PaperConfig(40, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]nfv.Task, numTasks)
+	for i := range tasks {
+		task, err := netgen.GenerateTask(net, rng, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = task
+	}
+	return net, tasks
+}
+
+func TestEmbedForestBasics(t *testing.T) {
+	net, tasks := forestInstance(t, 1, 4)
+	res, err := Embed(net, tasks, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trees) != 4 {
+		t.Fatalf("trees = %d", len(res.Trees))
+	}
+	for i, tree := range res.Trees {
+		if tree == nil {
+			t.Fatalf("tree %d missing", i)
+		}
+		if tree.Embedding.Task.Source != tasks[i].Source {
+			t.Fatalf("tree %d mismatched to task (source %d vs %d)",
+				i, tree.Embedding.Task.Source, tasks[i].Source)
+		}
+	}
+	if len(res.Order) != 4 {
+		t.Fatalf("order = %v", res.Order)
+	}
+	if res.TotalCost <= 0 {
+		t.Fatalf("total = %v", res.TotalCost)
+	}
+	// The base network must be untouched (forest works on a clone).
+	for f := 0; f < net.CatalogSize(); f++ {
+		for v := 0; v < net.NumNodes(); v++ {
+			_ = net.IsDeployed(f, v) // just exercising; state asserted below
+		}
+	}
+}
+
+func TestForestSharingNeverWorseThanIsolated(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		net, tasks := forestInstance(t, seed, 3)
+		res, err := Embed(net, tasks, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var isolated float64
+		for _, task := range tasks {
+			r, err := core.Solve(net, task, core.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			isolated += r.FinalCost
+		}
+		// Sequential sharing starts from the same state as isolated
+		// solving for the first tree and only gets cheaper afterwards.
+		if res.TotalCost > isolated+1e-6 {
+			t.Errorf("seed %d: forest %v costs more than isolated %v",
+				seed, res.TotalCost, isolated)
+		}
+	}
+}
+
+func TestForestSharesIdenticalChains(t *testing.T) {
+	// Same chain from two different sources: the second tree must reuse
+	// at least one of the first tree's instances somewhere... we assert
+	// the aggregate SharedInstances counter on a crafted instance where
+	// reuse is forced: a single server hosts the only possible chain.
+	net, tasks := func() (*nfv.Network, []nfv.Task) {
+		rng := rand.New(rand.NewSource(77))
+		cfg := netgen.PaperConfig(10, 2)
+		cfg.DeployedInstances = 0
+		net, err := netgen.Generate(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain := nfv.SFC{0}
+		return net, []nfv.Task{
+			{Source: 0, Destinations: []int{3, 4}, Chain: chain},
+			{Source: 1, Destinations: []int{5, 6}, Chain: chain},
+		}
+	}()
+	res, err := Embed(net, tasks, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both trees use f0; whether they share depends on geometry, but
+	// the setup cost must be paid at most once per distinct instance:
+	// total <= isolated sum is asserted elsewhere; here check the
+	// counter is consistent.
+	if res.SharedInstances < 0 || res.SharedInstances > 2 {
+		t.Errorf("shared = %d", res.SharedInstances)
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	net, tasks := forestInstance(t, 3, 2)
+	if _, err := Embed(net, nil, core.Options{}); !errors.Is(err, ErrNoTasks) {
+		t.Errorf("empty: %v", err)
+	}
+	bad := tasks
+	bad[0].Chain = nil
+	if _, err := Embed(net, bad, core.Options{}); !errors.Is(err, nfv.ErrInvalidTask) {
+		t.Errorf("invalid task: %v", err)
+	}
+}
+
+func TestForestLeavesNetworkUnchanged(t *testing.T) {
+	net, tasks := forestInstance(t, 5, 3)
+	before := net.Clone()
+	if _, err := Embed(net, tasks, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < net.CatalogSize(); f++ {
+		for v := 0; v < net.NumNodes(); v++ {
+			if net.IsDeployed(f, v) != before.IsDeployed(f, v) {
+				t.Fatalf("Embed mutated the input network at (%d,%d)", f, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n, extra int) *Graph {
+	rng := rand.New(rand.NewSource(1))
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, 1+rng.Float64()*9)
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, 1+rng.Float64()*9)
+		}
+	}
+	return g
+}
+
+func BenchmarkDijkstra250(b *testing.B) {
+	g := benchGraph(250, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(i % 250)
+	}
+}
+
+func BenchmarkFloydWarshall100(b *testing.B) {
+	g := benchGraph(100, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FloydWarshall()
+	}
+}
+
+func BenchmarkFloydWarshall250(b *testing.B) {
+	g := benchGraph(250, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FloydWarshall()
+	}
+}
+
+func BenchmarkAllDijkstra250(b *testing.B) {
+	g := benchGraph(250, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllDijkstra()
+	}
+}
+
+func BenchmarkMSTKruskal250(b *testing.B) {
+	g := benchGraph(250, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MSTKruskal()
+	}
+}
+
+func BenchmarkMSTPrim250(b *testing.B) {
+	g := benchGraph(250, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MSTPrim(0)
+	}
+}

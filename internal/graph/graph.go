@@ -1,0 +1,207 @@
+// Package graph provides the undirected and directed weighted graph
+// primitives that every other package in this repository builds on:
+// adjacency storage, single-source shortest paths (Dijkstra), all-pairs
+// shortest paths (Floyd-Warshall), minimum spanning trees (Prim and
+// Kruskal), connectivity queries, and a disjoint-set forest.
+//
+// All costs are non-negative float64 values; math.Inf(1) denotes
+// "unreachable". Node identifiers are dense integers in [0, N).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the cost used to mark unreachable node pairs.
+var Inf = math.Inf(1)
+
+var (
+	// ErrNodeOutOfRange reports a node identifier outside [0, N).
+	ErrNodeOutOfRange = errors.New("graph: node out of range")
+	// ErrNegativeCost reports an attempt to add an edge with negative cost.
+	ErrNegativeCost = errors.New("graph: negative edge cost")
+	// ErrSelfLoop reports an attempt to add a self-loop edge.
+	ErrSelfLoop = errors.New("graph: self loop")
+)
+
+// Arc is one directed half of an edge in an adjacency list.
+type Arc struct {
+	To   int     // head node
+	Cost float64 // traversal cost
+	Edge int     // index into Graph.Edges of the underlying edge
+}
+
+// Edge is an undirected edge with a non-negative cost.
+type Edge struct {
+	U, V int
+	Cost float64
+}
+
+// Other returns the endpoint of e that is not x.
+func (e Edge) Other(x int) int {
+	if e.U == x {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is an undirected weighted graph with dense integer node IDs.
+// The zero value is an empty graph with no nodes; use New to create a
+// graph with a fixed node count.
+type Graph struct {
+	adj   [][]Arc
+	edges []Edge
+}
+
+// New returns an empty undirected graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Arc, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the graph's edge list. The returned slice is a copy and
+// may be modified freely by the caller.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// AddEdge inserts an undirected edge {u,v} with the given cost and
+// returns its edge index. Parallel edges are permitted (the cheapest one
+// wins during shortest-path computations automatically).
+func (g *Graph) AddEdge(u, v int, cost float64) (int, error) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return 0, fmt.Errorf("%w: {%d,%d} with %d nodes", ErrNodeOutOfRange, u, v, len(g.adj))
+	}
+	if u == v {
+		return 0, fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	if cost < 0 || math.IsNaN(cost) {
+		return 0, fmt.Errorf("%w: {%d,%d} cost %v", ErrNegativeCost, u, v, cost)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Cost: cost})
+	g.adj[u] = append(g.adj[u], Arc{To: v, Cost: cost, Edge: id})
+	g.adj[v] = append(g.adj[v], Arc{To: u, Cost: cost, Edge: id})
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for statically known-good inputs (topology
+// tables, tests). It panics on error, which per the style guide is
+// acceptable only for programmer mistakes caught at startup.
+func (g *Graph) MustAddEdge(u, v int, cost float64) int {
+	id, err := g.AddEdge(u, v, cost)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []Arc { return g.adj[u] }
+
+// Degree returns the number of incident edge endpoints at u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// HasEdge reports whether an edge {u,v} exists, and the cheapest cost
+// among parallel edges if so.
+func (g *Graph) HasEdge(u, v int) (float64, bool) {
+	if u < 0 || u >= len(g.adj) {
+		return 0, false
+	}
+	best, found := Inf, false
+	for _, a := range g.adj[u] {
+		if a.To == v && a.Cost < best {
+			best, found = a.Cost, true
+		}
+	}
+	return best, found
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:   make([][]Arc, len(g.adj)),
+		edges: make([]Edge, len(g.edges)),
+	}
+	copy(c.edges, g.edges)
+	for i, l := range g.adj {
+		c.adj[i] = make([]Arc, len(l))
+		copy(c.adj[i], l)
+	}
+	return c
+}
+
+// TotalCost returns the sum of all edge costs.
+func (g *Graph) TotalCost() float64 {
+	var sum float64
+	for _, e := range g.edges {
+		sum += e.Cost
+	}
+	return sum
+}
+
+// Connected reports whether every node is reachable from node 0.
+// The empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	n := len(g.adj)
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[u] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == n
+}
+
+// Components returns the connected components as node-ID slices.
+func (g *Graph) Components() [][]int {
+	n := len(g.adj)
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, a := range g.adj[u] {
+				if !seen[a.To] {
+					seen[a.To] = true
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

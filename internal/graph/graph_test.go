@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// diamond returns the classic 4-node diamond used in several tests:
+//
+//	0 --1-- 1
+//	|       |
+//	4       1
+//	|       |
+//	2 --1-- 3
+//
+// shortest 0->3 is 0-1-3 with cost 2.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(0, 2, 4)
+	g.MustAddEdge(2, 3, 1)
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if _, err := g.AddEdge(0, 3, 1); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Errorf("out-of-range edge: got %v, want ErrNodeOutOfRange", err)
+	}
+	if _, err := g.AddEdge(-1, 0, 1); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Errorf("negative node: got %v, want ErrNodeOutOfRange", err)
+	}
+	if _, err := g.AddEdge(1, 1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: got %v, want ErrSelfLoop", err)
+	}
+	if _, err := g.AddEdge(0, 1, -2); !errors.Is(err, ErrNegativeCost) {
+		t.Errorf("negative cost: got %v, want ErrNegativeCost", err)
+	}
+	if _, err := g.AddEdge(0, 1, math.NaN()); !errors.Is(err, ErrNegativeCost) {
+		t.Errorf("NaN cost: got %v, want ErrNegativeCost", err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("invalid edges must not be stored, have %d", g.NumEdges())
+	}
+}
+
+func TestHasEdgeAndParallelEdges(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(0, 1, 3) // parallel, cheaper
+	c, ok := g.HasEdge(0, 1)
+	if !ok || c != 3 {
+		t.Errorf("HasEdge(0,1) = %v,%v; want 3,true", c, ok)
+	}
+	if _, ok := g.HasEdge(1, 1); ok {
+		t.Error("HasEdge(1,1) should be false")
+	}
+	if _, ok := g.HasEdge(-1, 0); ok {
+		t.Error("HasEdge(-1,0) should be false")
+	}
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	g := diamond(t)
+	tree := g.Dijkstra(0)
+	wantDist := []float64{0, 1, 3, 2}
+	for v, want := range wantDist {
+		if tree.Dist[v] != want {
+			t.Errorf("dist[%d] = %v, want %v", v, tree.Dist[v], want)
+		}
+	}
+	path := tree.PathTo(3)
+	want := []int{0, 1, 3}
+	if len(path) != len(want) {
+		t.Fatalf("PathTo(3) = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("PathTo(3) = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	tree := g.Dijkstra(0)
+	if !math.IsInf(tree.Dist[2], 1) {
+		t.Errorf("dist[2] = %v, want +Inf", tree.Dist[2])
+	}
+	if p := tree.PathTo(2); p != nil {
+		t.Errorf("PathTo(2) = %v, want nil", p)
+	}
+}
+
+func TestPathToSourceItself(t *testing.T) {
+	g := diamond(t)
+	tree := g.Dijkstra(2)
+	p := tree.PathTo(2)
+	if len(p) != 1 || p[0] != 2 {
+		t.Errorf("PathTo(source) = %v, want [2]", p)
+	}
+}
+
+func TestFloydWarshallMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		// random connected-ish graph: random tree + extra edges
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(rng.Intn(v), v, 1+rng.Float64()*9)
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v, 1+rng.Float64()*9)
+			}
+		}
+		m := g.FloydWarshall()
+		for s := 0; s < n; s++ {
+			tr := g.Dijkstra(s)
+			for v := 0; v < n; v++ {
+				if math.Abs(m.Dist[s][v]-tr.Dist[v]) > 1e-9 {
+					t.Fatalf("trial %d: dist(%d,%d): FW %v vs Dijkstra %v",
+						trial, s, v, m.Dist[s][v], tr.Dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestAllDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(25)
+		g := New(n)
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(rng.Intn(v), v, 1+rng.Float64()*5)
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v, 1+rng.Float64()*5)
+			}
+		}
+		fw := g.FloydWarshall()
+		ad := g.AllDijkstra()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if math.Abs(fw.Dist[u][v]-ad.Dist[u][v]) > 1e-9 {
+					t.Fatalf("dist(%d,%d): FW %v vs AllDijkstra %v", u, v, fw.Dist[u][v], ad.Dist[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestMetricPathReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 20
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, 1+rng.Float64()*9)
+	}
+	for i := 0; i < 30; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, 1+rng.Float64()*9)
+		}
+	}
+	m := g.FloydWarshall()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			p := m.Path(u, v)
+			if p == nil {
+				t.Fatalf("Path(%d,%d) unexpectedly nil", u, v)
+			}
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("Path(%d,%d) endpoints wrong: %v", u, v, p)
+			}
+			if got := g.PathCost(p); math.Abs(got-m.Dist[u][v]) > 1e-9 {
+				t.Fatalf("Path(%d,%d) cost %v != dist %v", u, v, got, m.Dist[u][v])
+			}
+		}
+	}
+}
+
+func TestMetricTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 15
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, 1+rng.Float64()*4)
+	}
+	m := g.FloydWarshall()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if m.Dist[i][j] > m.Dist[i][k]+m.Dist[k][j]+1e-9 {
+					t.Fatalf("triangle violated: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
+						i, j, m.Dist[i][j], i, k, k, j, m.Dist[i][k]+m.Dist[k][j])
+				}
+			}
+		}
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	if g.Connected() {
+		t.Error("graph with isolated node 4 reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Errorf("components = %d, want 3", len(comps))
+	}
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	if !g.Connected() {
+		t.Error("fully joined graph reported disconnected")
+	}
+	if New(0).Connected() != true {
+		t.Error("empty graph should be connected")
+	}
+}
+
+func TestBFSHops(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 100)
+	g.MustAddEdge(1, 2, 100)
+	g.MustAddEdge(0, 3, 1)
+	hops := g.BFSHops(0)
+	want := []int{0, 1, 2, 1}
+	for v := range want {
+		if hops[v] != want[v] {
+			t.Errorf("hops[%d] = %d, want %d", v, hops[v], want[v])
+		}
+	}
+}
+
+func TestMSTKruskalPrimAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(rng.Intn(v), v, rng.Float64()*10)
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v, rng.Float64()*10)
+			}
+		}
+		ke, kc := g.MSTKruskal()
+		pe, pc := g.MSTPrim(0)
+		if math.Abs(kc-pc) > 1e-9 {
+			t.Fatalf("trial %d: Kruskal %v vs Prim %v", trial, kc, pc)
+		}
+		if len(ke) != n-1 || len(pe) != n-1 {
+			t.Fatalf("trial %d: MST edge counts %d,%d want %d", trial, len(ke), len(pe), n-1)
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		if !g.IsTreeSpanning(ke, all) {
+			t.Fatalf("trial %d: Kruskal result is not a spanning tree", trial)
+		}
+	}
+}
+
+func TestIsTreeSpanningRejectsCycle(t *testing.T) {
+	g := New(3)
+	a := g.MustAddEdge(0, 1, 1)
+	b := g.MustAddEdge(1, 2, 1)
+	c := g.MustAddEdge(2, 0, 1)
+	if g.IsTreeSpanning([]int{a, b, c}, []int{0, 1, 2}) {
+		t.Error("triangle accepted as tree")
+	}
+	if !g.IsTreeSpanning([]int{a, b}, []int{0, 1, 2}) {
+		t.Error("path rejected as spanning tree")
+	}
+	if g.IsTreeSpanning([]int{a}, []int{0, 1, 2}) {
+		t.Error("edge {0,1} cannot span node 2")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.MustAddEdge(0, 3, 0.5)
+	if g.NumEdges() == c.NumEdges() {
+		t.Error("mutating clone changed original edge count")
+	}
+	if d := g.Dijkstra(0).Dist[3]; d != 2 {
+		t.Errorf("original dist changed after clone mutation: %v", d)
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	g := diamond(t)
+	if tc := g.TotalCost(); tc != 7 {
+		t.Errorf("TotalCost = %v, want 7", tc)
+	}
+}
+
+func TestEdgesReturnsCopy(t *testing.T) {
+	g := diamond(t)
+	edges := g.Edges()
+	edges[0].Cost = 999
+	if g.Edge(0).Cost == 999 {
+		t.Error("Edges() exposed internal state")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 3, V: 7, Cost: 1}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Errorf("Other: got %d,%d", e.Other(3), e.Other(7))
+	}
+}
+
+func TestPathCostNonAdjacent(t *testing.T) {
+	g := diamond(t)
+	if c := g.PathCost([]int{0, 3}); !math.IsInf(c, 1) {
+		t.Errorf("PathCost over non-edge = %v, want Inf", c)
+	}
+	if c := g.PathCost([]int{0}); c != 0 {
+		t.Errorf("PathCost of single node = %v, want 0", c)
+	}
+	if c := g.PathCost(nil); c != 0 {
+		t.Errorf("PathCost(nil) = %v, want 0", c)
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := diamond(t)
+	if g.Degree(0) != 2 || g.Degree(3) != 2 {
+		t.Errorf("degrees: %d,%d want 2,2", g.Degree(0), g.Degree(3))
+	}
+	seen := map[int]bool{}
+	for _, a := range g.Neighbors(0) {
+		seen[a.To] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("Neighbors(0) = %v", seen)
+	}
+}

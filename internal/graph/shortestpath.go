@@ -1,0 +1,188 @@
+package graph
+
+// ShortestPathTree is the result of a single-source shortest-path
+// computation: per-node distance from the source and the parent node on
+// one shortest path (-1 for the source itself and unreachable nodes).
+type ShortestPathTree struct {
+	Src    int
+	Dist   []float64
+	Parent []int
+}
+
+// PathTo reconstructs the node sequence from the tree's source to v,
+// inclusive of both endpoints. It returns nil if v is unreachable.
+func (t *ShortestPathTree) PathTo(v int) []int {
+	if v < 0 || v >= len(t.Dist) || t.Dist[v] == Inf {
+		return nil
+	}
+	var rev []int
+	for x := v; x != -1; x = t.Parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Dijkstra computes shortest paths from src to every node.
+func (g *Graph) Dijkstra(src int) *ShortestPathTree {
+	n := len(g.adj)
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	h := NewNodeHeap(n)
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue
+		}
+		for _, a := range g.adj[u] {
+			if nd := du + a.Cost; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+				h.Push(a.To, nd)
+			}
+		}
+	}
+	return &ShortestPathTree{Src: src, Dist: dist, Parent: parent}
+}
+
+// Metric holds all-pairs shortest-path distances plus enough routing
+// state to reconstruct one shortest path per pair.
+type Metric struct {
+	Dist [][]float64
+	next [][]int32 // next[u][v] = first hop on a shortest u->v path, -1 if none
+}
+
+// FloydWarshall computes all-pairs shortest paths in O(V^3).
+func (g *Graph) FloydWarshall() *Metric {
+	n := len(g.adj)
+	dist := make([][]float64, n)
+	next := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		dist[i] = make([]float64, n)
+		next[i] = make([]int32, n)
+		for j := 0; j < n; j++ {
+			dist[i][j] = Inf
+			next[i][j] = -1
+		}
+		dist[i][i] = 0
+		next[i][i] = int32(i)
+	}
+	for _, e := range g.edges {
+		if e.Cost < dist[e.U][e.V] {
+			dist[e.U][e.V] = e.Cost
+			dist[e.V][e.U] = e.Cost
+			next[e.U][e.V] = int32(e.V)
+			next[e.V][e.U] = int32(e.U)
+		}
+	}
+	for k := 0; k < n; k++ {
+		dk := dist[k]
+		for i := 0; i < n; i++ {
+			dik := dist[i][k]
+			if dik == Inf {
+				continue
+			}
+			di := dist[i]
+			ni := next[i]
+			nik := next[i][k]
+			for j := 0; j < n; j++ {
+				if nd := dik + dk[j]; nd < di[j] {
+					di[j] = nd
+					ni[j] = nik
+				}
+			}
+		}
+	}
+	return &Metric{Dist: dist, next: next}
+}
+
+// AllDijkstra computes the same Metric as FloydWarshall using one
+// Dijkstra run per node: O(V * (E log V)). Faster on sparse graphs;
+// kept as an ablation alternative and as a cross-check in tests.
+func (g *Graph) AllDijkstra() *Metric {
+	n := len(g.adj)
+	dist := make([][]float64, n)
+	next := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		t := g.Dijkstra(s)
+		dist[s] = t.Dist
+		next[s] = make([]int32, n)
+		for v := 0; v < n; v++ {
+			next[s][v] = -1
+		}
+		next[s][s] = int32(s)
+		// First hop towards v is found by walking parents back from v.
+		for v := 0; v < n; v++ {
+			if v == s || t.Dist[v] == Inf {
+				continue
+			}
+			x := v
+			for t.Parent[x] != s {
+				x = t.Parent[x]
+			}
+			next[s][v] = int32(x)
+		}
+	}
+	return &Metric{Dist: dist, next: next}
+}
+
+// Path returns one shortest path from u to v as a node sequence
+// including both endpoints, or nil if v is unreachable from u.
+// Path(u, u) returns [u].
+func (m *Metric) Path(u, v int) []int {
+	if m.Dist[u][v] == Inf {
+		return nil
+	}
+	path := []int{u}
+	for u != v {
+		u = int(m.next[u][v])
+		path = append(path, u)
+	}
+	return path
+}
+
+// BFSHops returns the minimum number of hops (unweighted) from src to
+// every node, with -1 for unreachable nodes.
+func (g *Graph) BFSHops(src int) []int {
+	n := len(g.adj)
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[u] {
+			if hops[a.To] == -1 {
+				hops[a.To] = hops[u] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return hops
+}
+
+// PathCost sums the edge costs along a node sequence, using the
+// cheapest parallel edge for every hop. It returns Inf if any
+// consecutive pair is not adjacent.
+func (g *Graph) PathCost(path []int) float64 {
+	var sum float64
+	for i := 1; i < len(path); i++ {
+		c, ok := g.HasEdge(path[i-1], path[i])
+		if !ok {
+			return Inf
+		}
+		sum += c
+	}
+	return sum
+}

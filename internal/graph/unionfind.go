@@ -1,0 +1,51 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression.
+type UnionFind struct {
+	parent []int
+	rank   []int8
+	sets   int
+}
+
+// NewUnionFind returns a forest of n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	return &UnionFind{parent: parent, rank: make([]int8, n), sets: n}
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether they
+// were previously distinct.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.sets--
+	return true
+}
+
+// Same reports whether x and y belong to the same set.
+func (u *UnionFind) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }

@@ -1,0 +1,375 @@
+// Package ilp is a branch-and-bound integer linear programming solver
+// built on the internal/lp simplex. It supports mixed problems (any
+// subset of variables marked integral), warm-started incumbents,
+// node/time budgets, and reports both the best feasible solution and
+// the proven lower bound, so callers can distinguish "optimal" from
+// "best found within budget". It stands in for the CPLEX runs of the
+// paper's evaluation (§V-C).
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sftree/internal/lp"
+)
+
+// Status reports the outcome of a branch-and-bound run.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: the incumbent is proven optimal (search exhausted).
+	Optimal Status = iota + 1
+	// Feasible: a feasible integral solution exists but the search hit
+	// a node or time budget before proving optimality.
+	Feasible
+	// Infeasible: no integral solution exists.
+	Infeasible
+	// Unknown: budgets were exhausted before any integral solution was
+	// found (the problem may or may not be feasible).
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is a minimization ILP: the embedded LP plus integrality
+// marks. Integer variables must be bounded above by explicit LP
+// constraints (the sftilp builder emits x <= 1 rows for binaries).
+type Problem struct {
+	LP      lp.Problem
+	Integer []bool
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps explored nodes; 0 means 200000.
+	MaxNodes int
+	// TimeLimit caps wall time; 0 means no limit.
+	TimeLimit time.Duration
+	// Incumbent warm-starts the upper bound (objective of a known
+	// feasible solution, e.g. from the two-stage heuristic). Use 0 with
+	// HasIncumbent=false when unknown.
+	Incumbent    float64
+	HasIncumbent bool
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes <= 0 {
+		return 200000
+	}
+	return o.MaxNodes
+}
+
+func (o Options) intTol() float64 {
+	if o.IntTol <= 0 {
+		return 1e-6
+	}
+	return o.IntTol
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status    Status
+	X         []float64 // best integral solution (nil unless Optimal/Feasible)
+	Objective float64   // objective of X
+	Bound     float64   // proven lower bound on the optimum
+	Nodes     int       // nodes explored
+}
+
+// ErrBadProblem reports inconsistent problem dimensions.
+var ErrBadProblem = errors.New("ilp: invalid problem")
+
+// branch is one extra bound introduced along a branch-and-bound path.
+type branch struct {
+	v     int
+	upper bool // true: x_v <= val; false: x_v >= val
+	val   float64
+}
+
+type node struct {
+	branches []branch
+	bound    float64 // parent LP relaxation value (lower bound)
+}
+
+// Solve runs best-bound-first branch and bound.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	n := p.LP.NumVars
+	if len(p.Integer) != n {
+		return nil, fmt.Errorf("%w: %d integrality marks for %d variables", ErrBadProblem, len(p.Integer), n)
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+	tol := opts.intTol()
+
+	incumbentObj := math.Inf(1)
+	if opts.HasIncumbent {
+		incumbentObj = opts.Incumbent
+	}
+	var incumbentX []float64
+
+	// Best-bound-first via a sorted open list (small scale: a slice we
+	// keep ordered is fine and keeps the code dependency-free).
+	open := []node{{bound: math.Inf(-1)}}
+	nodes := 0
+	exhausted := true
+
+	for len(open) > 0 {
+		if nodes >= opts.maxNodes() || (!deadline.IsZero() && time.Now().After(deadline)) {
+			exhausted = false
+			break
+		}
+		// Pop the node with the smallest bound.
+		sort.SliceStable(open, func(a, b int) bool { return open[a].bound < open[b].bound })
+		cur := open[0]
+		open = open[1:]
+		if cur.bound >= incumbentObj-1e-9 {
+			continue // cannot improve
+		}
+		nodes++
+
+		sol, err := solveRelaxation(&p.LP, cur.branches)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return nil, fmt.Errorf("%w: LP relaxation unbounded; bound integer variables explicitly", ErrBadProblem)
+		case lp.IterLimit:
+			// Treat as unexplorable; drop the node but remember we did
+			// not exhaust the space.
+			exhausted = false
+			continue
+		}
+		if sol.Objective >= incumbentObj-1e-9 {
+			continue
+		}
+		fracVar := mostFractional(sol.X, p.Integer, tol)
+		if fracVar == -1 {
+			// Integral: new incumbent.
+			if sol.Objective < incumbentObj {
+				incumbentObj = sol.Objective
+				incumbentX = roundIntegral(sol.X, p.Integer)
+			}
+			continue
+		}
+		val := sol.X[fracVar]
+		down := node{branches: appendBranch(cur.branches, branch{v: fracVar, upper: true, val: math.Floor(val)}), bound: sol.Objective}
+		up := node{branches: appendBranch(cur.branches, branch{v: fracVar, upper: false, val: math.Ceil(val)}), bound: sol.Objective}
+		open = append(open, down, up)
+	}
+
+	res := &Result{Nodes: nodes}
+	// Lower bound: if exhausted, the incumbent is optimal; otherwise
+	// the smallest bound among remaining nodes (or the incumbent).
+	bound := incumbentObj
+	for _, nd := range open {
+		if nd.bound < bound {
+			bound = nd.bound
+		}
+	}
+	res.Bound = bound
+	switch {
+	case incumbentX != nil && exhausted && len(open) == 0:
+		res.Status = Optimal
+		res.X = incumbentX
+		res.Objective = incumbentObj
+		res.Bound = incumbentObj
+	case incumbentX != nil:
+		res.Status = Feasible
+		res.X = incumbentX
+		res.Objective = incumbentObj
+	case exhausted && len(open) == 0:
+		res.Status = Infeasible
+	default:
+		res.Status = Unknown
+	}
+	return res, nil
+}
+
+// solveRelaxation solves the LP with the branch bounds applied. As a
+// presolve, variables pinned to a single value by the accumulated
+// branch bounds (plus singleton upper-bound rows of the base problem,
+// e.g. the x <= 1 rows of binaries) are substituted out instead of
+// being expressed as rows: their objective contribution becomes a
+// constant, their coefficients fold into right-hand sides, and their
+// bound rows disappear. This keeps the dense tableau small on deep
+// branch-and-bound paths.
+func solveRelaxation(base *lp.Problem, branches []branch) (*lp.Solution, error) {
+	// Accumulate bounds: implicit x >= 0 plus singleton <= rows plus
+	// branch bounds.
+	lo := make(map[int]float64)
+	hi := make(map[int]float64)
+	for _, c := range base.Constraints {
+		if len(c.Coeffs) != 1 || c.Rel != lp.LE {
+			continue
+		}
+		for v, coef := range c.Coeffs {
+			if coef > 0 {
+				if b := c.RHS / coef; b < upperOr(hi, v) {
+					hi[v] = b
+				}
+			}
+		}
+	}
+	for _, br := range branches {
+		if br.upper {
+			if br.val < upperOr(hi, br.v) {
+				hi[br.v] = br.val
+			}
+		} else if br.val > lo[br.v] {
+			lo[br.v] = br.val
+		}
+	}
+	fixed := make(map[int]float64)
+	for v, l := range lo {
+		if h, ok := hi[v]; ok {
+			if l > h+1e-9 {
+				return &lp.Solution{Status: lp.Infeasible}, nil
+			}
+			if h-l < 1e-9 {
+				fixed[v] = l
+			}
+		}
+	}
+	for v, h := range hi {
+		if h < 1e-9 && lo[v] <= 1e-9 { // pinned to zero by the upper bound
+			fixed[v] = 0
+		}
+	}
+
+	prob := lp.Problem{
+		NumVars:   base.NumVars,
+		Objective: make([]float64, base.NumVars),
+	}
+	var constant float64
+	for j, c := range base.Objective {
+		if val, ok := fixed[j]; ok {
+			constant += c * val
+			continue // zero objective keeps the dead column out of pricing
+		}
+		prob.Objective[j] = c
+	}
+	appendRow := func(coeffs map[int]float64, rel lp.Rel, rhs float64) error {
+		out := make(map[int]float64, len(coeffs))
+		for v, coef := range coeffs {
+			if val, ok := fixed[v]; ok {
+				rhs -= coef * val
+				continue
+			}
+			out[v] = coef
+		}
+		if len(out) == 0 {
+			// Constant row: check consistency instead of emitting it.
+			ok := true
+			switch rel {
+			case lp.LE:
+				ok = rhs >= -1e-9
+			case lp.GE:
+				ok = rhs <= 1e-9
+			case lp.EQ:
+				ok = math.Abs(rhs) <= 1e-9
+			}
+			if !ok {
+				return errInfeasibleRow
+			}
+			return nil
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: out, Rel: rel, RHS: rhs})
+		return nil
+	}
+	for _, c := range base.Constraints {
+		if err := appendRow(c.Coeffs, c.Rel, c.RHS); err != nil {
+			return &lp.Solution{Status: lp.Infeasible}, nil
+		}
+	}
+	for _, br := range branches {
+		if _, ok := fixed[br.v]; ok {
+			continue
+		}
+		rel := lp.GE
+		if br.upper {
+			rel = lp.LE
+		}
+		if err := appendRow(map[int]float64{br.v: 1}, rel, br.val); err != nil {
+			return &lp.Solution{Status: lp.Infeasible}, nil
+		}
+	}
+
+	sol, err := lp.Solve(&prob)
+	if err != nil || sol.Status != lp.Optimal {
+		return sol, err
+	}
+	for v, val := range fixed {
+		sol.X[v] = val
+	}
+	sol.Objective += constant
+	return sol, nil
+}
+
+var errInfeasibleRow = errors.New("ilp: constant row infeasible")
+
+func upperOr(hi map[int]float64, v int) float64 {
+	if h, ok := hi[v]; ok {
+		return h
+	}
+	return math.Inf(1)
+}
+
+// mostFractional returns the integer variable furthest from
+// integrality, or -1 when all are integral within tol.
+func mostFractional(x []float64, integer []bool, tol float64) int {
+	best, bestDist := -1, tol
+	for j, isInt := range integer {
+		if !isInt {
+			continue
+		}
+		frac := x[j] - math.Floor(x[j])
+		dist := math.Min(frac, 1-frac)
+		if dist > bestDist {
+			best, bestDist = j, dist
+		}
+	}
+	return best
+}
+
+// roundIntegral snaps near-integral values exactly.
+func roundIntegral(x []float64, integer []bool) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for j, isInt := range integer {
+		if isInt {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+func appendBranch(bs []branch, b branch) []branch {
+	out := make([]branch, len(bs)+1)
+	copy(out, bs)
+	out[len(bs)] = b
+	return out
+}

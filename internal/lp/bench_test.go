@@ -1,0 +1,67 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchLP builds a feasible bounded LP with the given shape.
+func benchLP(vars, rows int) *Problem {
+	rng := rand.New(rand.NewSource(1))
+	p := &Problem{NumVars: vars, Objective: make([]float64, vars)}
+	for j := range p.Objective {
+		p.Objective[j] = rng.Float64()*10 - 5
+	}
+	for i := 0; i < rows; i++ {
+		coeffs := map[int]float64{}
+		for j := 0; j < vars; j++ {
+			if rng.Float64() < 0.3 {
+				coeffs[j] = 0.1 + rng.Float64()*3
+			}
+		}
+		if len(coeffs) == 0 {
+			coeffs[rng.Intn(vars)] = 1
+		}
+		p.AddConstraint(coeffs, LE, 5+rng.Float64()*20)
+	}
+	for j := 0; j < vars; j++ {
+		p.AddConstraint(map[int]float64{j: 1}, LE, 10)
+	}
+	return p
+}
+
+func BenchmarkSimplex20x10(b *testing.B) {
+	p := benchLP(20, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("status %v err %v", s.Status, err)
+		}
+	}
+}
+
+func BenchmarkSimplex100x50(b *testing.B) {
+	p := benchLP(100, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("status %v err %v", s.Status, err)
+		}
+	}
+}
+
+func BenchmarkSimplex300x150(b *testing.B) {
+	p := benchLP(300, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("status %v err %v", s.Status, err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsOnDantzigExample(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Known duals (for the max problem): 0, 3/2, 1. Our solver
+	// minimizes the negation, so the recovered duals are negated.
+	p := &Problem{NumVars: 2, Objective: []float64{-3, -5}}
+	p.AddConstraint(map[int]float64{0: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{1: 2}, LE, 12)
+	p.AddConstraint(map[int]float64{0: 3, 1: 2}, LE, 18)
+	s := solveOK(t, p)
+	want := []float64{0, -1.5, -1}
+	for i, w := range want {
+		if math.Abs(s.Duals[i]-w) > 1e-6 {
+			t.Errorf("dual[%d] = %v, want %v", i, s.Duals[i], w)
+		}
+	}
+}
+
+func TestStrongDualityOnRandomLPs(t *testing.T) {
+	// For min c.x s.t. Ax <= b, x >= 0 the dual objective is y.b with
+	// y <= 0 (duals of <= rows in a minimization are non-positive);
+	// strong duality: y.b equals the primal optimum.
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		p := randomBoundedLP(rng.Int63())
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			t.Fatalf("trial %d: %v %v", trial, s.Status, err)
+		}
+		var dualObj float64
+		for i, c := range p.Constraints {
+			y := s.Duals[i]
+			if y > 1e-7 {
+				t.Fatalf("trial %d: dual %d positive (%v) for a <= row in a minimization", trial, i, y)
+			}
+			dualObj += y * c.RHS
+		}
+		if math.Abs(dualObj-s.Objective) > 1e-5*(1+math.Abs(s.Objective)) {
+			t.Fatalf("trial %d: strong duality violated: dual %v vs primal %v",
+				trial, dualObj, s.Objective)
+		}
+		// Complementary slackness: y_i * (b_i - a_i.x) == 0.
+		for i, c := range p.Constraints {
+			var lhs float64
+			for j, v := range c.Coeffs {
+				lhs += v * s.X[j]
+			}
+			slack := c.RHS - lhs
+			if math.Abs(s.Duals[i]*slack) > 1e-5*(1+math.Abs(s.Objective)) {
+				t.Fatalf("trial %d: complementary slackness violated at row %d: y=%v slack=%v",
+					trial, i, s.Duals[i], slack)
+			}
+		}
+	}
+}
+
+func TestBealeCyclingGuard(t *testing.T) {
+	// Beale's classic degenerate LP that cycles under naive Dantzig
+	// pivoting. The Bland fallback must terminate with the optimum
+	// -1/20.
+	p := &Problem{NumVars: 4, Objective: []float64{-0.75, 150, -0.02, 6}}
+	p.AddConstraint(map[int]float64{0: 0.25, 1: -60, 2: -1.0 / 25, 3: 9}, LE, 0)
+	p.AddConstraint(map[int]float64{0: 0.5, 1: -90, 2: -1.0 / 50, 3: 3}, LE, 0)
+	p.AddConstraint(map[int]float64{2: 1}, LE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-(-0.05)) > 1e-9 {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}

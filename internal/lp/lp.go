@@ -1,0 +1,153 @@
+// Package lp is a self-contained dense linear-programming solver: a
+// two-phase primal simplex over a full tableau, with Dantzig pricing
+// and a Bland's-rule fallback to guarantee termination under
+// degeneracy. It exists because the paper obtains optimal solutions
+// with CPLEX and the Go ecosystem offers no stdlib LP facility; the
+// solver targets the small-to-medium models produced by
+// internal/sftilp rather than industrial scale.
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota + 1 // <=
+	GE                // >=
+	EQ                // ==
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Constraint is one linear constraint with sparse coefficients.
+type Constraint struct {
+	Coeffs map[int]float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is a minimization LP over non-negative variables:
+//
+//	min  Objective . x
+//	s.t. Constraints, x >= 0
+//
+// Upper bounds are expressed as explicit <= constraints.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// AddConstraint appends a constraint built from a sparse coefficient
+// map; the map is copied.
+func (p *Problem) AddConstraint(coeffs map[int]float64, rel Rel, rhs float64) {
+	cp := make(map[int]float64, len(coeffs))
+	for k, v := range coeffs {
+		cp[k] = v
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: cp, Rel: rel, RHS: rhs})
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Duals holds one dual value per constraint at optimality,
+	// recovered from the slack columns' reduced costs. Equality
+	// constraints (which carry no slack) report zero — use a pair of
+	// inequalities when their duals matter.
+	Duals []float64
+}
+
+// ErrBadProblem reports a structurally invalid problem.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+const (
+	eps          = 1e-9
+	phase1Eps    = 1e-7
+	blandTrigger = 4 // switch to Bland's rule after blandTrigger*m*n Dantzig pivots without progress guarantees
+)
+
+// Solve runs the two-phase primal simplex and returns the solution.
+// X is populated only when Status == Optimal.
+func Solve(p *Problem) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return nil, fmt.Errorf("%w: %d variables", ErrBadProblem, p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return nil, fmt.Errorf("%w: objective has %d coefficients for %d variables",
+			ErrBadProblem, len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if c.Rel != LE && c.Rel != GE && c.Rel != EQ {
+			return nil, fmt.Errorf("%w: constraint %d has relation %d", ErrBadProblem, i, c.Rel)
+		}
+		for j := range c.Coeffs {
+			if j < 0 || j >= p.NumVars {
+				return nil, fmt.Errorf("%w: constraint %d references variable %d", ErrBadProblem, i, j)
+			}
+		}
+	}
+
+	t := newTableau(p)
+	// Phase 1: minimize the sum of artificial variables.
+	if t.numArtificial > 0 {
+		status := t.runSimplex(t.phase1Costs())
+		if status == IterLimit {
+			return &Solution{Status: IterLimit}, nil
+		}
+		if t.objectiveValue() > phase1Eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials()
+	}
+	// Phase 2: original objective.
+	status := t.runSimplex(t.phase2Costs(p))
+	switch status {
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	case IterLimit:
+		return &Solution{Status: IterLimit}, nil
+	}
+	x := make([]float64, p.NumVars)
+	for r, bv := range t.basis {
+		if bv < p.NumVars {
+			x[bv] = t.rhs(r)
+		}
+	}
+	obj := 0.0
+	for j, c := range p.Objective {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj, Duals: t.duals()}, nil
+}

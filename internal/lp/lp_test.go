@@ -1,0 +1,195 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig
+	// example): optimum (2, 6) with value 36. Minimize the negation.
+	p := &Problem{NumVars: 2, Objective: []float64{-3, -5}}
+	p.AddConstraint(map[int]float64{0: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{1: 2}, LE, 12)
+	p.AddConstraint(map[int]float64{0: 3, 1: 2}, LE, 18)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+36) > 1e-6 {
+		t.Errorf("objective = %v, want -36", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-6) > 1e-6 {
+		t.Errorf("x = %v, want (2,6)", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x >= 3, y >= 2. Optimum (8, 2) -> 22.
+	p := &Problem{NumVars: 2, Objective: []float64{2, 3}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 10)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 3)
+	p.AddConstraint(map[int]float64{1: 1}, GE, 2)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-22) > 1e-6 {
+		t.Errorf("objective = %v, want 22", s.Objective)
+	}
+	if math.Abs(s.X[0]-8) > 1e-6 || math.Abs(s.X[1]-2) > 1e-6 {
+		t.Errorf("x = %v, want (8,2)", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 cannot both hold.
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x >= 0: unbounded below.
+	p := &Problem{NumVars: 1, Objective: []float64{-1}}
+	p.AddConstraint(map[int]float64{0: 1}, GE, 0)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -5  <=>  x >= 5; min x -> 5.
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(map[int]float64{0: -1}, LE, -5)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-5) > 1e-6 {
+		t.Errorf("objective = %v, want 5", s.Objective)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Redundant constraints meeting at a degenerate vertex.
+	p := &Problem{NumVars: 2, Objective: []float64{-1, -1}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 1) // duplicate
+	p.AddConstraint(map[int]float64{0: 2, 1: 2}, LE, 2) // scaled duplicate
+	p.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+1) > 1e-6 {
+		t.Errorf("objective = %v, want -1", s.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x + y = 4 stated twice; phase 1 must delete the redundant row.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 2}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 4)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-4) > 1e-6 { // all weight on x
+		t.Errorf("objective = %v, want 4", s.Objective)
+	}
+}
+
+func TestBadProblems(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("zero vars: %v", err)
+	}
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("bad objective len: %v", err)
+	}
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: map[int]float64{5: 1}, Rel: LE, RHS: 1})
+	if _, err := Solve(p); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("var out of range: %v", err)
+	}
+	p2 := &Problem{NumVars: 1, Objective: []float64{1}}
+	p2.Constraints = append(p2.Constraints, Constraint{Coeffs: map[int]float64{0: 1}, RHS: 1})
+	if _, err := Solve(p2); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("missing relation: %v", err)
+	}
+}
+
+// TestAgainstVertexEnumeration cross-checks the simplex on random
+// 2-variable LPs whose optimum is found independently by enumerating
+// all intersections of constraint boundaries (including the axes) and
+// keeping the best feasible vertex.
+func TestAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 80; trial++ {
+		nc := 3 + rng.Intn(4)
+		// All-<= constraints with positive coefficients and RHS keep the
+		// feasible region a bounded polytope containing the origin.
+		type row struct{ a, b, rhs float64 }
+		rows := make([]row, nc)
+		for i := range rows {
+			rows[i] = row{a: 0.2 + rng.Float64()*2, b: 0.2 + rng.Float64()*2, rhs: 1 + rng.Float64()*9}
+		}
+		obj := []float64{-(rng.Float64()*4 + 0.1), -(rng.Float64()*4 + 0.1)} // minimize negative => maximize
+
+		p := &Problem{NumVars: 2, Objective: obj}
+		for _, r := range rows {
+			p.AddConstraint(map[int]float64{0: r.a, 1: r.b}, LE, r.rhs)
+		}
+		got := solveOK(t, p)
+
+		// Vertex enumeration: boundary lines are the nc constraints
+		// plus x=0 and y=0.
+		type line struct{ a, b, c float64 } // a*x + b*y = c
+		lines := make([]line, 0, nc+2)
+		for _, r := range rows {
+			lines = append(lines, line{r.a, r.b, r.rhs})
+		}
+		lines = append(lines, line{1, 0, 0}, line{0, 1, 0})
+		feasible := func(x, y float64) bool {
+			if x < -1e-7 || y < -1e-7 {
+				return false
+			}
+			for _, r := range rows {
+				if r.a*x+r.b*y > r.rhs+1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		best := math.Inf(1)
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				det := lines[i].a*lines[j].b - lines[j].a*lines[i].b
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (lines[i].c*lines[j].b - lines[j].c*lines[i].b) / det
+				y := (lines[i].a*lines[j].c - lines[j].a*lines[i].c) / det
+				if feasible(x, y) {
+					if v := obj[0]*x + obj[1]*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if math.Abs(got.Objective-best) > 1e-5 {
+			t.Fatalf("trial %d: simplex %v vs vertex enumeration %v", trial, got.Objective, best)
+		}
+	}
+}

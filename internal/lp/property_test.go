@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBoundedLP builds a feasible bounded minimization LP: positive
+// coefficients, <= rows through the origin's positive orthant, plus a
+// box so the optimum is finite even with negative objective entries.
+func randomBoundedLP(seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(5)
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = rng.Float64()*10 - 5
+	}
+	rows := 1 + rng.Intn(4)
+	for i := 0; i < rows; i++ {
+		coeffs := map[int]float64{}
+		for j := 0; j < n; j++ {
+			coeffs[j] = 0.1 + rng.Float64()*3
+		}
+		p.AddConstraint(coeffs, LE, 1+rng.Float64()*20)
+	}
+	for j := 0; j < n; j++ {
+		p.AddConstraint(map[int]float64{j: 1}, LE, 1+rng.Float64()*10)
+	}
+	return p
+}
+
+// Property: the solver returns Optimal on feasible bounded problems,
+// the solution satisfies every constraint, and the objective matches
+// the solution vector.
+func TestQuickSolutionsFeasibleAndConsistent(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := randomBoundedLP(seed)
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		var obj float64
+		for j, c := range p.Objective {
+			if s.X[j] < -1e-7 {
+				return false
+			}
+			obj += c * s.X[j]
+		}
+		if math.Abs(obj-s.Objective) > 1e-6 {
+			return false
+		}
+		for _, c := range p.Constraints {
+			var lhs float64
+			for j, v := range c.Coeffs {
+				lhs += v * s.X[j]
+			}
+			switch c.Rel {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < c.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling the objective scales the optimum (positive scale).
+func TestQuickObjectiveScaling(t *testing.T) {
+	prop := func(seed int64, rawScale uint8) bool {
+		scale := 0.5 + float64(rawScale%40)/10 // 0.5 .. 4.4
+		p := randomBoundedLP(seed)
+		s1, err := Solve(p)
+		if err != nil || s1.Status != Optimal {
+			return false
+		}
+		scaled := &Problem{NumVars: p.NumVars, Objective: make([]float64, p.NumVars), Constraints: p.Constraints}
+		for j, c := range p.Objective {
+			scaled.Objective[j] = c * scale
+		}
+		s2, err := Solve(scaled)
+		if err != nil || s2.Status != Optimal {
+			return false
+		}
+		return math.Abs(s2.Objective-scale*s1.Objective) < 1e-5*(1+math.Abs(s1.Objective))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: appending a redundant constraint (a valid row relaxed
+// further) leaves the optimum unchanged.
+func TestQuickRedundantConstraintInvariance(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := randomBoundedLP(seed)
+		s1, err := Solve(p)
+		if err != nil || s1.Status != Optimal {
+			return false
+		}
+		first := p.Constraints[0]
+		p.AddConstraint(first.Coeffs, LE, first.RHS*2+1)
+		s2, err := Solve(p)
+		if err != nil || s2.Status != Optimal {
+			return false
+		}
+		return math.Abs(s1.Objective-s2.Objective) < 1e-6*(1+math.Abs(s1.Objective))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tightening the feasible region never improves a
+// minimization optimum.
+func TestQuickTighteningMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := randomBoundedLP(seed)
+		s1, err := Solve(p)
+		if err != nil || s1.Status != Optimal {
+			return false
+		}
+		tight := &Problem{NumVars: p.NumVars, Objective: p.Objective}
+		tight.Constraints = append([]Constraint(nil), p.Constraints...)
+		first := p.Constraints[0]
+		tight.AddConstraint(first.Coeffs, LE, first.RHS*0.7)
+		s2, err := Solve(tight)
+		if err != nil {
+			return false
+		}
+		if s2.Status == Infeasible {
+			return true
+		}
+		return s2.Status == Optimal && s2.Objective >= s1.Objective-1e-6*(1+math.Abs(s1.Objective))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,317 @@
+package lp
+
+import "math"
+
+// tableau is the dense full-tableau simplex state. Columns are laid
+// out as [structural | slack/surplus | artificial]; every row keeps
+// its right-hand side non-negative (primal feasibility).
+type tableau struct {
+	numStruct     int
+	numSlack      int
+	numArtificial int
+	artStart      int // first artificial column index
+
+	a     [][]float64 // m rows of numCols entries
+	b     []float64   // m right-hand sides
+	basis []int       // basic variable per row
+
+	// slackOf[i] is the slack/surplus column of original constraint i
+	// (-1 for equalities) and slackSign[i] its coefficient (+1 for <=,
+	// -1 for >= after RHS normalization); rowFlip[i] is -1 when the
+	// constraint was negated to keep its RHS non-negative. Together
+	// they let Duals read y off the final cost row.
+	slackOf   []int
+	slackSign []float64
+	rowFlip   []float64
+
+	costRow []float64
+	objVal  float64
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Constraints)
+	numSlack, numArt := 0, 0
+	for _, c := range p.Constraints {
+		rhs, rel := c.RHS, c.Rel
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	t := &tableau{
+		numStruct:     p.NumVars,
+		numSlack:      numSlack,
+		numArtificial: numArt,
+		artStart:      p.NumVars + numSlack,
+		a:             make([][]float64, m),
+		b:             make([]float64, m),
+		basis:         make([]int, m),
+		slackOf:       make([]int, m),
+		slackSign:     make([]float64, m),
+		rowFlip:       make([]float64, m),
+	}
+	numCols := p.NumVars + numSlack + numArt
+	slackIdx, artIdx := p.NumVars, t.artStart
+	for r, c := range p.Constraints {
+		row := make([]float64, numCols)
+		sign := 1.0
+		rhs, rel := c.RHS, c.Rel
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			rel = flip(rel)
+		}
+		t.rowFlip[r] = sign
+		for j, v := range c.Coeffs {
+			row[j] += sign * v
+		}
+		switch rel {
+		case LE:
+			row[slackIdx] = 1
+			t.basis[r] = slackIdx
+			t.slackOf[r] = slackIdx
+			t.slackSign[r] = 1
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			t.slackOf[r] = slackIdx
+			t.slackSign[r] = -1
+			slackIdx++
+			row[artIdx] = 1
+			t.basis[r] = artIdx
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			t.basis[r] = artIdx
+			t.slackOf[r] = -1
+			artIdx++
+		}
+		t.a[r] = row
+		t.b[r] = rhs
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+func (t *tableau) numCols() int { return t.numStruct + t.numSlack + t.numArtificial }
+
+func (t *tableau) rhs(r int) float64 { return t.b[r] }
+
+func (t *tableau) objectiveValue() float64 { return t.objVal }
+
+// phase1Costs prices artificial variables at one, everything else zero.
+func (t *tableau) phase1Costs() []float64 {
+	costs := make([]float64, t.numCols())
+	for j := t.artStart; j < t.numCols(); j++ {
+		costs[j] = 1
+	}
+	return costs
+}
+
+// phase2Costs extends the problem objective with zero costs for slack
+// and artificial columns.
+func (t *tableau) phase2Costs(p *Problem) []float64 {
+	costs := make([]float64, t.numCols())
+	copy(costs, p.Objective)
+	return costs
+}
+
+// initCostRow recomputes reduced costs and the objective value for the
+// current basis: costRow[j] = c_j - c_B . column_j.
+func (t *tableau) initCostRow(costs []float64) {
+	n := t.numCols()
+	t.costRow = make([]float64, n)
+	copy(t.costRow, costs)
+	t.objVal = 0
+	for r, bv := range t.basis {
+		cb := costs[bv]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[r]
+		for j := 0; j < n; j++ {
+			t.costRow[j] -= cb * row[j]
+		}
+		t.objVal += cb * t.b[r]
+	}
+}
+
+// runSimplex iterates pivots under the given costs until optimality,
+// unboundedness, or the iteration limit. Phase-2 calls must not let
+// artificial columns re-enter; they are excluded whenever the current
+// costs price artificials at zero (phase 1 prices them at one).
+func (t *tableau) runSimplex(costs []float64) Status {
+	t.initCostRow(costs)
+	phase1 := false
+	for j := t.artStart; j < t.numCols(); j++ {
+		if costs[j] != 0 {
+			phase1 = true
+			break
+		}
+	}
+	enterLimit := t.numCols()
+	if !phase1 {
+		enterLimit = t.artStart // artificials may not re-enter in phase 2
+	}
+	m := len(t.a)
+	maxIter := 20000 + 50*(m+t.numCols())
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		enter := t.chooseEntering(enterLimit, iter >= blandAfter)
+		if enter == -1 {
+			return Optimal
+		}
+		leave := t.chooseLeaving(enter)
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return IterLimit
+}
+
+// chooseEntering returns the entering column (reduced cost < -eps), or
+// -1 at optimality. Dantzig pricing by default, Bland's rule when
+// requested.
+func (t *tableau) chooseEntering(limit int, bland bool) int {
+	if bland {
+		for j := 0; j < limit; j++ {
+			if t.costRow[j] < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -eps
+	for j := 0; j < limit; j++ {
+		if t.costRow[j] < bestVal {
+			best, bestVal = j, t.costRow[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the minimum-ratio test on column enter, breaking
+// ties by the smallest basis variable (lexicographic safeguard).
+func (t *tableau) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for r := range t.a {
+		arj := t.a[r][enter]
+		if arj <= eps {
+			continue
+		}
+		ratio := t.b[r] / arj
+		if ratio < bestRatio-eps || (ratio < bestRatio+eps && (best == -1 || t.basis[r] < t.basis[best])) {
+			best, bestRatio = r, ratio
+		}
+	}
+	return best
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	n := t.numCols()
+	prow := t.a[leave]
+	pval := prow[enter]
+	inv := 1 / pval
+	for j := 0; j < n; j++ {
+		prow[j] *= inv
+	}
+	t.b[leave] *= inv
+	prow[enter] = 1 // exact
+
+	for r := range t.a {
+		if r == leave {
+			continue
+		}
+		factor := t.a[r][enter]
+		if factor == 0 {
+			continue
+		}
+		row := t.a[r]
+		for j := 0; j < n; j++ {
+			row[j] -= factor * prow[j]
+		}
+		row[enter] = 0 // exact
+		t.b[r] -= factor * t.b[leave]
+		if t.b[r] < 0 && t.b[r] > -1e-11 {
+			t.b[r] = 0 // clamp numeric dust to preserve feasibility
+		}
+	}
+	if factor := t.costRow[enter]; factor != 0 {
+		for j := 0; j < n; j++ {
+			t.costRow[j] -= factor * prow[j]
+		}
+		t.costRow[enter] = 0
+		// The entering variable takes value theta = b[leave]; the
+		// objective moves by its reduced cost times theta.
+		t.objVal += factor * t.b[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// duals reads the dual value of every original constraint off the
+// final cost row: for constraint i with slack column s and stored
+// slack sign sgn, the reduced cost there is -y_i * sgn, and a flipped
+// row negates the dual once more. Equality constraints have no slack;
+// their duals are reported as NaN-free zeros (a limitation documented
+// on Solution.Duals).
+func (t *tableau) duals() []float64 {
+	out := make([]float64, len(t.slackOf))
+	for i, col := range t.slackOf {
+		if col < 0 {
+			continue // equality: dual not recoverable from a slack column
+		}
+		out[i] = -t.costRow[col] / t.slackSign[i] * t.rowFlip[i]
+	}
+	return out
+}
+
+// driveOutArtificials removes artificial variables from the basis
+// after phase 1: pivot them out where a structural or slack column is
+// available, and delete redundant rows where none is.
+func (t *tableau) driveOutArtificials() {
+	for r := 0; r < len(t.a); r++ {
+		if t.basis[r] < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[r][j]) > 1e-7 {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: delete it.
+			last := len(t.a) - 1
+			t.a[r] = t.a[last]
+			t.b[r] = t.b[last]
+			t.basis[r] = t.basis[last]
+			t.a = t.a[:last]
+			t.b = t.b[:last]
+			t.basis = t.basis[:last]
+			r--
+		}
+	}
+}

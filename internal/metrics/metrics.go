@@ -1,0 +1,124 @@
+// Package metrics provides the small statistics toolkit the benchmark
+// harness uses to aggregate per-trial measurements: online mean and
+// standard deviation (Welford), min/max tracking, and percentage
+// reduction helpers for the paper's "MSA saves X% over RSA" claims.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates observations with Welford's online algorithm.
+// The zero value is ready to use.
+type Sample struct {
+	n               int
+	mean, m2        float64
+	minV, maxV      float64
+	hasObservations bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasObservations || x < s.minV {
+		s.minV = x
+	}
+	if !s.hasObservations || x > s.maxV {
+		s.maxV = x
+	}
+	s.hasObservations = true
+}
+
+// AddDuration records a duration in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Sample) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest observation (0 with no observations).
+func (s *Sample) Min() float64 { return s.minV }
+
+// Max returns the largest observation (0 with no observations).
+func (s *Sample) Max() float64 { return s.maxV }
+
+// ReductionPct returns how much smaller `ours` is than `base`, as a
+// percentage of base: 100*(base-ours)/base. Zero base yields zero.
+func ReductionPct(base, ours float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - ours) / base
+}
+
+// Distribution stores observations for quantile queries (unlike
+// Sample, which is streaming and constant-space).
+type Distribution struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (d *Distribution) Add(x float64) {
+	d.vals = append(d.vals, x)
+	d.sorted = false
+}
+
+// N returns the observation count.
+func (d *Distribution) N() int { return len(d.vals) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.vals {
+		sum += v
+	}
+	return sum / float64(len(d.vals))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) with linear
+// interpolation between order statistics; 0 when empty.
+func (d *Distribution) Quantile(q float64) float64 {
+	n := len(d.vals)
+	if n == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.vals)
+		d.sorted = true
+	}
+	switch {
+	case q <= 0:
+		return d.vals[0]
+	case q >= 1:
+		return d.vals[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d.vals[lo]
+	}
+	frac := pos - float64(lo)
+	return d.vals[lo]*(1-frac) + d.vals[hi]*frac
+}

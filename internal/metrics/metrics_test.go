@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Population stddev of this classic set is 2; sample stddev is
+	// sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Error("empty sample not zero")
+	}
+	s.Add(3)
+	if s.StdDev() != 0 {
+		t.Errorf("single-observation stddev = %v", s.StdDev())
+	}
+	if s.Min() != 3 || s.Max() != 3 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleNegativeValues(t *testing.T) {
+	var s Sample
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Errorf("min=%v max=%v mean=%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if math.Abs(s.Mean()-1500) > 1e-9 {
+		t.Errorf("mean ms = %v", s.Mean())
+	}
+}
+
+func TestDistributionQuantiles(t *testing.T) {
+	var d Distribution
+	if d.Quantile(0.5) != 0 || d.Mean() != 0 || d.N() != 0 {
+		t.Error("empty distribution not zero")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		d.Add(v)
+	}
+	if d.N() != 5 {
+		t.Errorf("N = %d", d.N())
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := d.Quantile(1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := d.Quantile(0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	// Interpolated quantile: q=0.25 over [1..5] -> 2.
+	if got := d.Quantile(0.25); math.Abs(got-2) > 1e-12 {
+		t.Errorf("q25 = %v", got)
+	}
+	if got := d.Quantile(0.9); math.Abs(got-4.6) > 1e-12 {
+		t.Errorf("q90 = %v, want 4.6", got)
+	}
+	if got := d.Mean(); got != 3 {
+		t.Errorf("mean = %v", got)
+	}
+	// Adding after a quantile query must re-sort.
+	d.Add(0)
+	if got := d.Quantile(0); got != 0 {
+		t.Errorf("q0 after add = %v", got)
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	if got := ReductionPct(200, 150); math.Abs(got-25) > 1e-12 {
+		t.Errorf("got %v, want 25", got)
+	}
+	if got := ReductionPct(0, 10); got != 0 {
+		t.Errorf("zero base: %v", got)
+	}
+	if got := ReductionPct(100, 120); math.Abs(got+20) > 1e-12 {
+		t.Errorf("negative reduction: %v", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package mod builds the multilevel overlay directed (MOD) network of
+// the paper's Algorithm 1 and its *expanded* form (Fig. 4), in which
+// every overlay node is split into an in/out pair joined by a virtual
+// arc weighted with the VNF setup cost. A single Dijkstra run from the
+// source over the expanded MOD network yields, for every candidate
+// host of the last chain VNF, the cost-optimal SFC embedding ending
+// there (Theorem 2).
+//
+// Columns correspond to chain positions 1..k, rows to server nodes of
+// the target network. Arcs between adjacent columns carry the
+// shortest-path cost between the corresponding physical nodes, so the
+// overlay loses no information from the original network.
+package mod
+
+import (
+	"errors"
+	"fmt"
+
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+var (
+	// ErrNoServers reports a network without any server node.
+	ErrNoServers = errors.New("mod: network has no server nodes")
+	// ErrEmptyChain reports an empty SFC.
+	ErrEmptyChain = errors.New("mod: empty chain")
+	// ErrSourceUnreachable reports that no server is reachable from
+	// the source, so no SFC can be embedded.
+	ErrSourceUnreachable = errors.New("mod: no server reachable from source")
+)
+
+// Network is the expanded MOD network for one (network, source, chain)
+// triple.
+type Network struct {
+	net     *nfv.Network
+	chain   nfv.SFC
+	source  int
+	servers []int // physical IDs of candidate host nodes
+	rowOf   map[int]int
+	dg      *graph.Digraph
+}
+
+// Overlay node ID layout: 0 is the source; for column j in [1..k] and
+// server row r, the "in" node is 1 + 2*((j-1)*S + r) and the "out"
+// node is in+1.
+func (m *Network) inID(j, row int) int  { return 1 + 2*((j-1)*len(m.servers)+row) }
+func (m *Network) outID(j, row int) int { return m.inID(j, row) + 1 }
+
+// Build constructs the expanded MOD network. Setup costs reflect
+// deployment state: pre-deployed chain VNFs cost zero (§IV-D).
+func Build(net *nfv.Network, source int, chain nfv.SFC) (*Network, error) {
+	if len(chain) == 0 {
+		return nil, ErrEmptyChain
+	}
+	for _, f := range chain {
+		if _, err := net.VNF(f); err != nil {
+			return nil, fmt.Errorf("mod: %w", err)
+		}
+	}
+	servers := net.Servers()
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	if source < 0 || source >= net.NumNodes() {
+		return nil, fmt.Errorf("mod: %w: source %d", graph.ErrNodeOutOfRange, source)
+	}
+	metric := net.Metric()
+
+	m := &Network{
+		net:     net,
+		chain:   append(nfv.SFC(nil), chain...),
+		source:  source,
+		servers: servers,
+		rowOf:   make(map[int]int, len(servers)),
+	}
+	for r, v := range servers {
+		m.rowOf[v] = r
+	}
+	k := len(chain)
+	s := len(servers)
+	m.dg = graph.NewDigraph(1 + 2*k*s)
+
+	reachable := false
+	for r, v := range servers {
+		// Source -> first column (Fig. 4 step 1).
+		if d := metric.Dist[source][v]; d != graph.Inf {
+			reachable = true
+			if err := m.dg.AddArc(0, m.inID(1, r), d); err != nil {
+				return nil, fmt.Errorf("mod: source arc: %w", err)
+			}
+		}
+		// Virtual in->out arcs carrying setup costs, one per column.
+		for j := 1; j <= k; j++ {
+			cost := net.SetupCost(chain[j-1], v)
+			if err := m.dg.AddArc(m.inID(j, r), m.outID(j, r), cost); err != nil {
+				return nil, fmt.Errorf("mod: virtual arc: %w", err)
+			}
+		}
+	}
+	if !reachable {
+		return nil, ErrSourceUnreachable
+	}
+	// Column j out -> column j+1 in, fully connected with shortest-path
+	// costs (Algorithm 1 step 2).
+	for j := 1; j < k; j++ {
+		for ra, va := range servers {
+			for rb, vb := range servers {
+				d := metric.Dist[va][vb]
+				if d == graph.Inf {
+					continue
+				}
+				if err := m.dg.AddArc(m.outID(j, ra), m.inID(j+1, rb), d); err != nil {
+					return nil, fmt.Errorf("mod: column arc: %w", err)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Chain returns the SFC the overlay was built for.
+func (m *Network) Chain() nfv.SFC { return append(nfv.SFC(nil), m.chain...) }
+
+// Servers returns the candidate host nodes (physical IDs) forming the
+// overlay rows.
+func (m *Network) Servers() []int { return append([]int(nil), m.servers...) }
+
+// NumOverlayNodes returns the size of the expanded overlay, including
+// the source.
+func (m *Network) NumOverlayNodes() int { return m.dg.NumNodes() }
+
+// NumOverlayArcs returns the arc count of the expanded overlay.
+func (m *Network) NumOverlayArcs() int { return m.dg.NumArcs() }
+
+// SFCSolution is the result of one Dijkstra sweep over the expanded
+// MOD network: per candidate last-VNF host, the optimal SFC embedding
+// cost and host sequence.
+type SFCSolution struct {
+	m    *Network
+	tree *graph.ShortestPathTree
+}
+
+// SolveSFC runs Dijkstra from the source over the expanded overlay.
+func (m *Network) SolveSFC() *SFCSolution {
+	return &SFCSolution{m: m, tree: m.dg.Dijkstra(0)}
+}
+
+// CostTo returns the minimum cost (setup + links) of embedding the
+// whole chain with its last VNF hosted on physical node v, or +Inf if
+// v is not a reachable server.
+func (s *SFCSolution) CostTo(v int) float64 {
+	r, ok := s.m.rowOf[v]
+	if !ok {
+		return graph.Inf
+	}
+	return s.tree.Dist[s.m.outID(len(s.m.chain), r)]
+}
+
+// HostsTo returns the chain host sequence (one physical node per chain
+// position, repeats allowed) of the optimal embedding ending at v, or
+// nil if unreachable.
+func (s *SFCSolution) HostsTo(v int) []int {
+	r, ok := s.m.rowOf[v]
+	if !ok {
+		return nil
+	}
+	goal := s.m.outID(len(s.m.chain), r)
+	overlay := s.tree.PathTo(goal)
+	if overlay == nil {
+		return nil
+	}
+	k := len(s.m.chain)
+	hosts := make([]int, 0, k)
+	for _, id := range overlay {
+		if id == 0 {
+			continue
+		}
+		// Only record each column once, at its "in" node.
+		idx := id - 1
+		if idx%2 == 0 { // in node
+			row := (idx / 2) % len(s.m.servers)
+			hosts = append(hosts, s.m.servers[row])
+		}
+	}
+	if len(hosts) != k {
+		return nil
+	}
+	return hosts
+}
+
+// BestHost returns the candidate last-VNF host with the cheapest SFC
+// embedding and its cost.
+func (s *SFCSolution) BestHost() (int, float64) {
+	best, bestCost := -1, graph.Inf
+	for _, v := range s.m.servers {
+		if c := s.CostTo(v); c < bestCost {
+			best, bestCost = v, c
+		}
+	}
+	return best, bestCost
+}
+
+// ChainCost recomputes the cost of a host sequence directly from the
+// metric and setup costs: dist(S,h1) + sum_j setup(l_j,h_j) +
+// sum_j dist(h_j,h_{j+1}). Used to cross-check HostsTo decoding.
+func (m *Network) ChainCost(hosts []int) float64 {
+	if len(hosts) != len(m.chain) {
+		return graph.Inf
+	}
+	metric := m.net.Metric()
+	cost := metric.Dist[m.source][hosts[0]]
+	for j, h := range hosts {
+		cost += m.net.SetupCost(m.chain[j], h)
+		if j+1 < len(hosts) {
+			cost += metric.Dist[h][hosts[j+1]]
+		}
+	}
+	return cost
+}

@@ -1,0 +1,77 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// FatTree builds a k-ary fat-tree switching fabric — the data-center
+// topology behind the multicast systems the paper cites (§II,
+// Avalanche) — and wraps it with cfg's NFV metadata. k must be even:
+// the fabric has (k/2)^2 core switches and k pods of k/2 aggregation
+// plus k/2 edge switches each; every link has unit cost (uniform
+// fabric). Edge switches (where servers attach in a real DC) are the
+// natural multicast sources/destinations.
+//
+// Node layout: cores [0, (k/2)^2), then per pod p: aggregations
+// [coreEnd + p*k, ... + k/2) followed by edges (+ k/2).
+func FatTree(k int, cfg Config, rng *rand.Rand) (*nfv.Network, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("%w: fat-tree arity %d must be even and >= 2", ErrBadConfig, k)
+	}
+	half := k / 2
+	numCore := half * half
+	numPerPod := k // half agg + half edge
+	n := numCore + k*numPerPod
+
+	agg := func(pod, i int) int { return numCore + pod*numPerPod + i }
+	edge := func(pod, i int) int { return numCore + pod*numPerPod + half + i }
+
+	g := graph.New(n)
+	coords := make([]nfv.Point, n)
+	// Synthetic layered coordinates (for display only; costs are unit).
+	for c := 0; c < numCore; c++ {
+		coords[c] = nfv.Point{X: float64(c) * 10, Y: 30}
+	}
+	for pod := 0; pod < k; pod++ {
+		for i := 0; i < half; i++ {
+			coords[agg(pod, i)] = nfv.Point{X: float64(pod*half+i) * 10, Y: 20}
+			coords[edge(pod, i)] = nfv.Point{X: float64(pod*half+i) * 10, Y: 10}
+		}
+	}
+	// Core <-> aggregation: core (i, j) in the (k/2)x(k/2) grid connects
+	// to aggregation switch i of every pod... following the canonical
+	// wiring: aggregation switch a (0-based) of each pod connects to
+	// cores [a*half, (a+1)*half).
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			for c := a * half; c < (a+1)*half; c++ {
+				g.MustAddEdge(agg(pod, a), c, 1)
+			}
+			// Aggregation <-> edge inside the pod: complete bipartite.
+			for e := 0; e < half; e++ {
+				g.MustAddEdge(agg(pod, a), edge(pod, e), 1)
+			}
+		}
+	}
+	cfg.Nodes = n
+	return Materialize(g, coords, cfg, rng)
+}
+
+// FatTreeEdgeSwitches returns the node IDs of the edge layer of a
+// k-ary fat-tree built by FatTree, the natural end-point set for
+// multicast tasks.
+func FatTreeEdgeSwitches(k int) []int {
+	half := k / 2
+	numCore := half * half
+	var out []int
+	for pod := 0; pod < k; pod++ {
+		for i := 0; i < half; i++ {
+			out = append(out, numCore+pod*k+half+i)
+		}
+	}
+	return out
+}

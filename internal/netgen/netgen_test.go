@@ -1,0 +1,214 @@
+package netgen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/nfv"
+)
+
+func TestGenerateBasicProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{10, 50, 120} {
+		net, err := Generate(PaperConfig(n, 2), rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if net.NumNodes() != n {
+			t.Errorf("n=%d: nodes = %d", n, net.NumNodes())
+		}
+		if !net.Graph().Connected() {
+			t.Errorf("n=%d: generated graph not connected", n)
+		}
+		if len(net.Servers()) != n {
+			t.Errorf("n=%d: servers = %d, want all nodes", n, len(net.Servers()))
+		}
+		if net.CatalogSize() != 30 {
+			t.Errorf("n=%d: catalog = %d", n, net.CatalogSize())
+		}
+		for _, v := range net.Servers() {
+			c := net.Capacity(v)
+			if c < 1 || c > 5 {
+				t.Errorf("n=%d: capacity %v outside [1,5]", n, c)
+			}
+		}
+		if coords := net.Coords(); len(coords) != n {
+			t.Errorf("n=%d: coords = %d", n, len(coords))
+		}
+	}
+}
+
+func TestGenerateEdgeCostsAreEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, err := Generate(PaperConfig(30, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := net.Coords()
+	for _, e := range net.Graph().Edges() {
+		dx := coords[e.U].X - coords[e.V].X
+		dy := coords[e.U].Y - coords[e.V].Y
+		if math.Abs(e.Cost-math.Sqrt(dx*dx+dy*dy)) > 1e-9 {
+			t.Fatalf("edge %d-%d cost %v is not the Euclidean distance", e.U, e.V, e.Cost)
+		}
+	}
+}
+
+func TestSetupCostScalesWithMu(t *testing.T) {
+	mean := func(mu float64) float64 {
+		rng := rand.New(rand.NewSource(3))
+		net, err := Generate(PaperConfig(60, mu), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		var cnt int
+		for f := 0; f < net.CatalogSize(); f++ {
+			for _, v := range net.Servers() {
+				sum += net.RawSetupCost(f, v)
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	m1, m3 := mean(1), mean(3)
+	if m3 < 2*m1 {
+		t.Errorf("mu=3 mean %v not ~3x mu=1 mean %v", m3, m1)
+	}
+}
+
+func TestDeployedInstancesRespectCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net, err := Generate(PaperConfig(40, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployed := 0
+	for _, v := range net.Servers() {
+		if used := net.UsedCapacity(v); used > net.Capacity(v)+1e-9 {
+			t.Errorf("node %d over capacity: %v > %v", v, used, net.Capacity(v))
+		}
+		for f := 0; f < net.CatalogSize(); f++ {
+			if net.IsDeployed(f, v) {
+				deployed++
+			}
+		}
+	}
+	if deployed == 0 {
+		t.Error("no instances pre-deployed")
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	gen := func() *nfv.Network {
+		rng := rand.New(rand.NewSource(42))
+		net, err := Generate(PaperConfig(25, 2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	a, b := gen(), gen()
+	if a.Graph().NumEdges() != b.Graph().NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.Graph().NumEdges(), b.Graph().NumEdges())
+	}
+	for i := 0; i < a.Graph().NumEdges(); i++ {
+		ea, eb := a.Graph().Edge(i), b.Graph().Edge(i)
+		if ea != eb {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+	for _, v := range a.Servers() {
+		if a.Capacity(v) != b.Capacity(v) {
+			t.Fatalf("capacity differs at %d", v)
+		}
+	}
+}
+
+func TestGenerateTaskProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := Generate(PaperConfig(50, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := GenerateTask(net, rng, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Validate(net); err != nil {
+		t.Fatalf("generated task invalid: %v", err)
+	}
+	if len(task.Destinations) != 10 || task.K() != 5 {
+		t.Errorf("task shape: %d dests, k=%d", len(task.Destinations), task.K())
+	}
+	for _, d := range task.Destinations {
+		if d == task.Source {
+			t.Error("destination equals source")
+		}
+	}
+}
+
+func TestGenerateTaskValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net, err := Generate(PaperConfig(10, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateTask(net, rng, 0, 3); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero dests: %v", err)
+	}
+	if _, err := GenerateTask(net, rng, 10, 3); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("too many dests: %v", err)
+	}
+	if _, err := GenerateTask(net, rng, 3, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero chain: %v", err)
+	}
+	if _, err := GenerateTask(net, rng, 3, 99); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("chain beyond catalog: %v", err)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Generate(Config{Nodes: 1}, rng); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("1 node: %v", err)
+	}
+	if _, err := Generate(Config{Nodes: 10, EdgeProb: 1.5}, rng); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad prob: %v", err)
+	}
+}
+
+func TestGeneratedInstancesAreSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net, err := Generate(PaperConfig(50, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := GenerateTask(net, rng, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestServerFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := PaperConfig(40, 2)
+	cfg.ServerFraction = 0.5
+	net, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.Servers()); got != 20 {
+		t.Errorf("servers = %d, want 20", got)
+	}
+}

@@ -1,0 +1,82 @@
+package netgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// WaxmanConfig parameterizes the Waxman random-graph model commonly
+// used for ISP-like topologies: nodes scatter uniformly in the plane
+// and an edge {u,v} exists with probability
+//
+//	P(u,v) = Beta * exp(-d(u,v) / (Alpha * L))
+//
+// where L is the maximum pairwise distance. Larger Alpha favours long
+// links; larger Beta raises overall density.
+type WaxmanConfig struct {
+	Nodes int
+	Alpha float64 // distance decay (default 0.15)
+	Beta  float64 // density (default 0.4)
+	Area  float64 // coordinate square side (default 100)
+}
+
+func (c WaxmanConfig) normalized() (WaxmanConfig, error) {
+	if c.Nodes < 2 {
+		return c, fmt.Errorf("%w: %d nodes", ErrBadConfig, c.Nodes)
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.15
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.4
+	}
+	if c.Beta > 1 {
+		return c, fmt.Errorf("%w: beta %v > 1", ErrBadConfig, c.Beta)
+	}
+	if c.Area <= 0 {
+		c.Area = 100
+	}
+	return c, nil
+}
+
+// GenerateWaxman builds a connected Waxman topology and wraps it with
+// the NFV metadata of cfg (capacities, catalog, setup costs,
+// deployments), exactly like Generate does for ER graphs.
+func GenerateWaxman(wax WaxmanConfig, cfg Config, rng *rand.Rand) (*nfv.Network, error) {
+	wax, err := wax.normalized()
+	if err != nil {
+		return nil, err
+	}
+	n := wax.Nodes
+	coords := make([]nfv.Point, n)
+	for v := range coords {
+		coords[v] = nfv.Point{X: rng.Float64() * wax.Area, Y: rng.Float64() * wax.Area}
+	}
+	maxDist := 0.0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if d := euclid(coords[u], coords[v]); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := euclid(coords[u], coords[v])
+			if rng.Float64() < wax.Beta*math.Exp(-d/(wax.Alpha*maxDist)) {
+				g.MustAddEdge(u, v, d)
+			}
+		}
+	}
+	connectComponents(g, coords)
+	cfg.Nodes = n
+	return Materialize(g, coords, cfg, rng)
+}

@@ -1,0 +1,23 @@
+package nfv
+
+// DefaultCatalog returns the 30-entry VNF catalog used throughout the
+// evaluation, standing in for the "thirty different VNFs" the paper
+// samples from an NFV market survey. Names are common middlebox types;
+// every instance consumes one capacity unit, matching the paper's
+// node-capacity convention ("at most 1~5 VNFs can be deployed on the
+// node").
+func DefaultCatalog() []VNF {
+	names := []string{
+		"firewall", "nat", "ids", "ips", "dpi",
+		"load-balancer", "wan-optimizer", "proxy", "cache", "vpn-gateway",
+		"traffic-shaper", "virus-scanner", "spam-filter", "phishing-detector", "parental-control",
+		"video-transcoder", "video-optimizer", "packet-marker", "qoe-monitor", "flow-sampler",
+		"ddos-mitigator", "ssl-terminator", "http-header-enricher", "carrier-grade-nat", "bras",
+		"epc-sgw", "epc-pgw", "mme", "ims-cscf", "cdn-edge",
+	}
+	catalog := make([]VNF, len(names))
+	for i, name := range names {
+		catalog[i] = VNF{ID: i, Name: name, Demand: 1}
+	}
+	return catalog
+}

@@ -1,0 +1,239 @@
+package nfv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Instance is a VNF instance placed on a node at a chain level
+// (Level in [1..k], matching Chain[Level-1]).
+type Instance struct {
+	VNF   int `json:"vnf"`
+	Node  int `json:"node"`
+	Level int `json:"level"`
+}
+
+// Segment is one stage of a destination's walk: the node path carrying
+// the flow between the instance serving chain level `Level` and the
+// next hop of the chain. Level j in [0..k] corresponds to the paper's
+// psi_{l_j} stage: Level 0 runs from the source to the first VNF,
+// Level j from VNF j to VNF j+1, and Level k from the last VNF to the
+// destination. Path lists nodes inclusive of both endpoints and may be
+// a single node when the two endpoints coincide.
+type Segment struct {
+	Level int   `json:"level"`
+	Path  []int `json:"path"`
+}
+
+// Walk is one destination's end-to-end route: exactly k+1 segments.
+type Walk []Segment
+
+// Embedding is a solver's output: the new VNF instances it deploys and
+// one walk per destination (parallel to Task.Destinations).
+type Embedding struct {
+	Task         Task       `json:"task"`
+	NewInstances []Instance `json:"new_instances"`
+	Walks        []Walk     `json:"walks"`
+}
+
+// ServingNode returns the node that serves destination index di at
+// chain level lvl (lvl in [1..k]), derived from the walk structure.
+func (e *Embedding) ServingNode(di, lvl int) int {
+	return e.Walks[di][lvl].Path[0]
+}
+
+// Clone returns a deep copy of the embedding.
+func (e *Embedding) Clone() *Embedding {
+	c := &Embedding{
+		Task:         e.Task.CloneTask(),
+		NewInstances: append([]Instance(nil), e.NewInstances...),
+		Walks:        make([]Walk, len(e.Walks)),
+	}
+	for i, w := range e.Walks {
+		c.Walks[i] = make(Walk, len(w))
+		for j, s := range w {
+			c.Walks[i][j] = Segment{Level: s.Level, Path: append([]int(nil), s.Path...)}
+		}
+	}
+	return c
+}
+
+// stageEdge is the deduplication key of objective (1a): an edge carries
+// one flow copy per chain stage regardless of destination fan-out.
+type stageEdge struct {
+	level int
+	u, v  int
+}
+
+// CostBreakdown decomposes the traffic delivery cost.
+type CostBreakdown struct {
+	Setup float64 `json:"setup"` // sum of new-instance setup costs
+	Link  float64 `json:"link"`  // sum over distinct (stage, edge) pairs
+	Total float64 `json:"total"`
+}
+
+// Cost evaluates objective (1a) for the embedding: the setup cost of
+// every distinct new instance plus the link cost of every distinct
+// (stage, directed edge) pair across all walks. It does not check
+// feasibility; pair it with Validate.
+func (net *Network) Cost(e *Embedding) CostBreakdown {
+	var bd CostBreakdown
+	seenInst := make(map[[2]int]bool, len(e.NewInstances))
+	for _, inst := range e.NewInstances {
+		key := [2]int{inst.VNF, inst.Node}
+		if seenInst[key] {
+			continue
+		}
+		seenInst[key] = true
+		bd.Setup += net.SetupCost(inst.VNF, inst.Node)
+	}
+	seenEdge := make(map[stageEdge]bool)
+	for _, w := range e.Walks {
+		for _, seg := range w {
+			for i := 1; i < len(seg.Path); i++ {
+				key := stageEdge{level: seg.Level, u: seg.Path[i-1], v: seg.Path[i]}
+				if seenEdge[key] {
+					continue
+				}
+				seenEdge[key] = true
+				c, ok := net.g.HasEdge(key.u, key.v)
+				if !ok {
+					// Mirror Validate's verdict by pricing non-edges at +Inf.
+					bd.Link = math.Inf(1)
+					bd.Total = math.Inf(1)
+					return bd
+				}
+				bd.Link += c
+			}
+		}
+	}
+	bd.Total = bd.Setup + bd.Link
+	return bd
+}
+
+// Validate checks the embedding against every problem constraint:
+//
+//	(1b) every destination is served by every chain VNF;
+//	(1c) every destination's walk starts at the source;
+//	(1d) node capacities are respected;
+//	(1e) chain order: segment endpoints are consistent, every segment
+//	     path is edge-connected, and level j is served before level j+1;
+//	(1f) implicit in the walk representation.
+//
+// It also checks structural consistency of NewInstances (servers only,
+// no duplicates, not already deployed) and that every serving node
+// actually hosts the required VNF (pre-deployed or newly placed).
+func (net *Network) Validate(e *Embedding) error {
+	task := e.Task
+	if err := task.Validate(net); err != nil {
+		return err
+	}
+	k := task.K()
+	if len(e.Walks) != len(task.Destinations) {
+		return fmt.Errorf("%w: %d walks for %d destinations",
+			ErrInfeasible, len(e.Walks), len(task.Destinations))
+	}
+
+	// New instances: structural checks + capacity accounting.
+	newDemand := make(map[int]float64) // node -> added demand
+	seenInst := make(map[[2]int]bool, len(e.NewInstances))
+	hasNew := make(map[[2]int]bool, len(e.NewInstances)) // (vnf,node)
+	for _, inst := range e.NewInstances {
+		vnf, err := net.VNF(inst.VNF)
+		if err != nil {
+			return fmt.Errorf("%w: new instance %+v: %v", ErrInfeasible, inst, err)
+		}
+		if !net.IsServer(inst.Node) {
+			return fmt.Errorf("%w: new instance of %q on switch node %d",
+				ErrInfeasible, vnf.Name, inst.Node)
+		}
+		if net.IsDeployed(inst.VNF, inst.Node) {
+			return fmt.Errorf("%w: instance of %q on node %d duplicates a deployed one",
+				ErrInfeasible, vnf.Name, inst.Node)
+		}
+		key := [2]int{inst.VNF, inst.Node}
+		if seenInst[key] {
+			return fmt.Errorf("%w: duplicate new instance of %q on node %d",
+				ErrInfeasible, vnf.Name, inst.Node)
+		}
+		seenInst[key] = true
+		hasNew[key] = true
+		newDemand[inst.Node] += vnf.Demand
+	}
+	for v, add := range newDemand {
+		if net.UsedCapacity(v)+add > net.Capacity(v)+1e-9 {
+			return fmt.Errorf("%w: constraint (1d): node %d capacity %v exceeded (used %v + new %v)",
+				ErrInfeasible, v, net.Capacity(v), net.UsedCapacity(v), add)
+		}
+	}
+
+	for di, d := range task.Destinations {
+		w := e.Walks[di]
+		if len(w) != k+1 {
+			return fmt.Errorf("%w: destination %d walk has %d segments, want %d",
+				ErrInfeasible, d, len(w), k+1)
+		}
+		prevEnd := task.Source
+		for j := 0; j <= k; j++ {
+			seg := w[j]
+			if seg.Level != j {
+				return fmt.Errorf("%w: destination %d segment %d labelled level %d",
+					ErrInfeasible, d, j, seg.Level)
+			}
+			if len(seg.Path) == 0 {
+				return fmt.Errorf("%w: destination %d segment %d empty", ErrInfeasible, d, j)
+			}
+			if seg.Path[0] != prevEnd {
+				return fmt.Errorf("%w: constraint (1e): destination %d segment %d starts at %d, want %d",
+					ErrInfeasible, d, j, seg.Path[0], prevEnd)
+			}
+			for i := 1; i < len(seg.Path); i++ {
+				if _, ok := net.g.HasEdge(seg.Path[i-1], seg.Path[i]); !ok {
+					return fmt.Errorf("%w: destination %d segment %d uses non-edge %d-%d",
+						ErrInfeasible, d, j, seg.Path[i-1], seg.Path[i])
+				}
+			}
+			prevEnd = seg.Path[len(seg.Path)-1]
+			// Segment j (for j < k) ends at the node serving level j+1.
+			if j < k {
+				host := prevEnd
+				f := task.Chain[j]
+				if !net.IsDeployed(f, host) && !hasNew[[2]int{f, host}] {
+					return fmt.Errorf("%w: constraint (1b): destination %d level %d needs VNF %d on node %d but none is placed there",
+						ErrInfeasible, d, j+1, f, host)
+				}
+			}
+		}
+		if prevEnd != d {
+			return fmt.Errorf("%w: destination %d walk ends at %d", ErrInfeasible, d, prevEnd)
+		}
+	}
+	return nil
+}
+
+// String renders a human-readable embedding summary.
+func (e *Embedding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "embedding: source=%d k=%d destinations=%v\n",
+		e.Task.Source, e.Task.K(), e.Task.Destinations)
+	insts := append([]Instance(nil), e.NewInstances...)
+	sort.Slice(insts, func(a, b int) bool {
+		if insts[a].Level != insts[b].Level {
+			return insts[a].Level < insts[b].Level
+		}
+		return insts[a].Node < insts[b].Node
+	})
+	for _, inst := range insts {
+		fmt.Fprintf(&b, "  new instance: vnf=%d level=%d node=%d\n", inst.VNF, inst.Level, inst.Node)
+	}
+	for i, w := range e.Walks {
+		fmt.Fprintf(&b, "  dest %d:", e.Task.Destinations[i])
+		for _, seg := range w {
+			fmt.Fprintf(&b, " [L%d %v]", seg.Level, seg.Path)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

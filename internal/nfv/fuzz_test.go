@@ -1,0 +1,92 @@
+package nfv
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sftree/internal/graph"
+)
+
+// FuzzInstanceDocUnmarshal feeds arbitrary bytes into the instance
+// decoder: it must never panic, and anything it accepts must survive a
+// re-encode/re-decode round trip with the same shape.
+func FuzzInstanceDocUnmarshal(f *testing.F) {
+	// Seed with a real document.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1.5)
+	g.MustAddEdge(1, 2, 2)
+	net := NewNetwork(g, DefaultCatalog())
+	if err := net.SetServer(1, 2); err != nil {
+		f.Fatal(err)
+	}
+	if err := net.Deploy(0, 1); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := json.Marshal(InstanceDoc{
+		Network: net,
+		Task:    Task{Source: 0, Destinations: []int{2}, Chain: SFC{0}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"network":{"nodes":-1},"task":{}}`))
+	f.Add([]byte(`{"network":{"nodes":2,"edges":[{"u":0,"v":1,"cost":-3}],"catalog":[],"servers":[]},"task":{}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var doc InstanceDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return // rejection is fine; panics are not
+		}
+		if doc.Network == nil {
+			return
+		}
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("accepted doc failed to re-marshal: %v", err)
+		}
+		var back InstanceDoc
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-marshalled doc failed to parse: %v", err)
+		}
+		if back.Network.NumNodes() != doc.Network.NumNodes() {
+			t.Fatalf("round trip changed node count %d -> %d",
+				doc.Network.NumNodes(), back.Network.NumNodes())
+		}
+		if back.Network.Graph().NumEdges() != doc.Network.Graph().NumEdges() {
+			t.Fatalf("round trip changed edge count")
+		}
+	})
+}
+
+// FuzzValidateNeverPanics throws structurally arbitrary embeddings at
+// the validator and the cost oracle.
+func FuzzValidateNeverPanics(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(1), uint8(2))
+	f.Add(int64(99), uint8(0), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, rawNode, rawLevel, rawLen uint8) {
+		g := graph.New(4)
+		g.MustAddEdge(0, 1, 1)
+		g.MustAddEdge(1, 2, 1)
+		g.MustAddEdge(2, 3, 1)
+		net := NewNetwork(g, []VNF{{ID: 0, Name: "f", Demand: 1}})
+		if err := net.SetServer(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately malformed embedding pieces.
+		node := int(rawNode)%6 - 1 // may be out of range
+		e := &Embedding{
+			Task:         Task{Source: 0, Destinations: []int{3}, Chain: SFC{0}},
+			NewInstances: []Instance{{VNF: int(rawLen) % 3, Node: node, Level: int(rawLevel)}},
+			Walks: []Walk{{
+				{Level: int(rawLevel) % 3, Path: []int{0, int(rawNode) % 4}},
+				{Level: 1, Path: []int{int(rawNode) % 4, 3}},
+			}},
+		}
+		// Must not panic; error or success are both acceptable.
+		if err := net.Validate(e); err == nil {
+			_ = net.Cost(e)
+		}
+	})
+}

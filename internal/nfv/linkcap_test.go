@@ -1,0 +1,152 @@
+package nfv
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sftree/internal/graph"
+)
+
+// capNet builds a 4-node line with servers on 1,2.
+func capNet(t *testing.T) *Network {
+	t.Helper()
+	g := graph.New(4)
+	for v := 1; v < 4; v++ {
+		g.MustAddEdge(v-1, v, float64(v))
+	}
+	net := NewNetwork(g, []VNF{{ID: 0, Name: "f0", Demand: 1}})
+	for _, v := range []int{1, 2} {
+		if err := net.SetServer(v, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SetSetupCost(0, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestSetLinkCapacityBasics(t *testing.T) {
+	net := capNet(t)
+	if err := net.SetLinkCapacity(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.LinkCapacity(1, 0); got != 2 {
+		t.Errorf("capacity = %d, want 2 (order-insensitive)", got)
+	}
+	if err := net.SetLinkCapacity(0, 3, 1); err == nil {
+		t.Error("non-adjacent pair accepted")
+	}
+	if err := net.SetLinkCapacity(0, 1, -2); err == nil {
+		t.Error("negative accepted")
+	}
+	if err := net.SetLinkCapacity(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.LinkCapacity(0, 1); got != 0 {
+		t.Errorf("cleared = %d", got)
+	}
+}
+
+// outAndBack builds an embedding whose flow crosses edge 1-2 twice
+// (stage 0 out to the instance at 2, stage 1 back towards dest 1).
+func outAndBack() *Embedding {
+	return &Embedding{
+		Task:         Task{Source: 0, Destinations: []int{1}, Chain: SFC{0}},
+		NewInstances: []Instance{{VNF: 0, Node: 2, Level: 1}},
+		Walks: []Walk{{
+			{Level: 0, Path: []int{0, 1, 2}},
+			{Level: 1, Path: []int{2, 1}},
+		}},
+	}
+}
+
+func TestLinkViolationsCountsPerStageAndDirection(t *testing.T) {
+	net := capNet(t)
+	e := outAndBack()
+	if err := net.Validate(e); err != nil {
+		t.Fatal(err)
+	}
+	// No bounds: no violations.
+	if v := net.LinkViolations(e); v != nil {
+		t.Fatalf("unexpected: %v", v)
+	}
+	if err := net.SetLinkCapacity(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	v := net.LinkViolations(e)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want one on 1-2", v)
+	}
+	if v[0].U != 1 || v[0].V != 2 || v[0].Copies != 2 || v[0].Capacity != 1 {
+		t.Errorf("violation = %+v", v[0])
+	}
+	// Raising the bound clears it.
+	if err := net.SetLinkCapacity(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v := net.LinkViolations(e); v != nil {
+		t.Fatalf("still violated: %v", v)
+	}
+}
+
+func TestReweightedCopy(t *testing.T) {
+	net := capNet(t)
+	if err := net.Deploy(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLinkCapacity(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := net.ReweightedCopy(func(u, v int) float64 {
+		if (u == 1 && v == 2) || (u == 2 && v == 1) {
+			return 10
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := shadow.Graph().HasEdge(1, 2); c != 20 { // 2 * 10
+		t.Errorf("reweighted 1-2 = %v, want 20", c)
+	}
+	if c, _ := shadow.Graph().HasEdge(0, 1); c != 1 {
+		t.Errorf("untouched 0-1 = %v, want 1", c)
+	}
+	// Metadata carried over.
+	if !shadow.IsDeployed(0, 1) || shadow.LinkCapacity(1, 2) != 3 {
+		t.Error("metadata lost in reweighted copy")
+	}
+	// Original untouched.
+	if c, _ := net.Graph().HasEdge(1, 2); c != 2 {
+		t.Errorf("original mutated: %v", c)
+	}
+	// Factors below 1 are clamped (penalties only inflate).
+	shadow2, err := net.ReweightedCopy(func(u, v int) float64 { return 0.1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := shadow2.Graph().HasEdge(0, 1); c != 1 {
+		t.Errorf("deflating factor not clamped: %v", c)
+	}
+}
+
+func TestEmbeddingString(t *testing.T) {
+	e := outAndBack()
+	s := e.String()
+	for _, want := range []string{"source=0", "new instance: vnf=0 level=1 node=2", "dest 1:", "[L0 [0 1 2]]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCostOnNonEdgeIsInfinite(t *testing.T) {
+	net := capNet(t)
+	e := outAndBack()
+	e.Walks[0][0].Path = []int{0, 2} // not an edge
+	if bd := net.Cost(e); !math.IsInf(bd.Total, 1) {
+		t.Errorf("cost over non-edge = %v, want +Inf", bd.Total)
+	}
+}

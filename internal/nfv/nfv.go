@@ -1,0 +1,275 @@
+// Package nfv defines the domain model shared by every solver in this
+// repository: the NFV-enabled target network (graph, server nodes,
+// capacities, VNF catalog, deployment state, setup costs), the
+// multicast task (source, destinations, service function chain), the
+// embedding produced by a solver, the traffic-delivery cost oracle of
+// the paper's objective (1a), and an independent feasibility validator
+// for constraints (1b)-(1f).
+package nfv
+
+import (
+	"errors"
+	"fmt"
+
+	"sftree/internal/graph"
+)
+
+var (
+	// ErrNotServer reports a VNF operation on a switch node.
+	ErrNotServer = errors.New("nfv: node is not a server")
+	// ErrUnknownVNF reports a VNF id outside the catalog.
+	ErrUnknownVNF = errors.New("nfv: unknown VNF")
+	// ErrCapacityExceeded reports a deployment that overflows a node.
+	ErrCapacityExceeded = errors.New("nfv: node capacity exceeded")
+	// ErrAlreadyDeployed reports a duplicate deployment.
+	ErrAlreadyDeployed = errors.New("nfv: VNF already deployed on node")
+	// ErrInvalidTask reports a structurally invalid multicast task.
+	ErrInvalidTask = errors.New("nfv: invalid task")
+	// ErrInfeasible reports an embedding that violates the problem
+	// constraints; the message pinpoints the violated constraint.
+	ErrInfeasible = errors.New("nfv: infeasible embedding")
+)
+
+// VNF is one virtual network function type from the catalog.
+type VNF struct {
+	ID     int     `json:"id"`
+	Name   string  `json:"name"`
+	Demand float64 `json:"demand"` // resource units consumed per instance (mu)
+}
+
+// Point is a 2-D node coordinate used for Euclidean link costs.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Network is an NFV-enabled target network: an undirected weighted
+// graph plus per-node server metadata and per-(VNF, node) deployment
+// state. Build it, then treat it as immutable while solving; Metric()
+// caches all-pairs shortest paths on first use.
+type Network struct {
+	g        *graph.Graph
+	coords   []Point
+	isServer []bool
+	capacity []float64
+	catalog  []VNF
+	deployed [][]bool    // [vnf][node]
+	setup    [][]float64 // [vnf][node]
+	linkCap  map[[2]int]int
+	metric   *graph.Metric
+}
+
+// newGraphLike returns an empty graph with the same node count.
+func newGraphLike(g *graph.Graph) *graph.Graph { return graph.New(g.NumNodes()) }
+
+// NewNetwork wraps a finished graph with NFV metadata. All nodes start
+// as switches (non-servers); the catalog fixes the universe of VNF
+// types. The graph must not be mutated afterwards.
+func NewNetwork(g *graph.Graph, catalog []VNF) *Network {
+	n := g.NumNodes()
+	net := &Network{
+		g:        g,
+		isServer: make([]bool, n),
+		capacity: make([]float64, n),
+		catalog:  make([]VNF, len(catalog)),
+		deployed: make([][]bool, len(catalog)),
+		setup:    make([][]float64, len(catalog)),
+	}
+	copy(net.catalog, catalog)
+	for f := range catalog {
+		net.deployed[f] = make([]bool, n)
+		net.setup[f] = make([]float64, n)
+	}
+	return net
+}
+
+// Graph returns the underlying graph. Callers must not mutate it.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// NumNodes returns the node count of the underlying graph.
+func (net *Network) NumNodes() int { return net.g.NumNodes() }
+
+// Catalog returns a copy of the VNF catalog.
+func (net *Network) Catalog() []VNF {
+	out := make([]VNF, len(net.catalog))
+	copy(out, net.catalog)
+	return out
+}
+
+// CatalogSize returns the number of VNF types.
+func (net *Network) CatalogSize() int { return len(net.catalog) }
+
+// VNF returns the catalog entry for id.
+func (net *Network) VNF(id int) (VNF, error) {
+	if id < 0 || id >= len(net.catalog) {
+		return VNF{}, fmt.Errorf("%w: id %d", ErrUnknownVNF, id)
+	}
+	return net.catalog[id], nil
+}
+
+// SetCoords stores node coordinates (used only for reporting; costs
+// are fixed at edge-creation time).
+func (net *Network) SetCoords(coords []Point) {
+	net.coords = make([]Point, len(coords))
+	copy(net.coords, coords)
+}
+
+// Coords returns the node coordinates, or nil if unset.
+func (net *Network) Coords() []Point {
+	if net.coords == nil {
+		return nil
+	}
+	out := make([]Point, len(net.coords))
+	copy(out, net.coords)
+	return out
+}
+
+// SetServer marks node v as a server with the given deployment capacity.
+func (net *Network) SetServer(v int, capacity float64) error {
+	if v < 0 || v >= net.g.NumNodes() {
+		return fmt.Errorf("%w: node %d", graph.ErrNodeOutOfRange, v)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("nfv: negative capacity %v for node %d", capacity, v)
+	}
+	net.isServer[v] = true
+	net.capacity[v] = capacity
+	return nil
+}
+
+// IsServer reports whether v can host VNF instances.
+func (net *Network) IsServer(v int) bool {
+	return v >= 0 && v < len(net.isServer) && net.isServer[v]
+}
+
+// Capacity returns node v's total deployment capacity.
+func (net *Network) Capacity(v int) float64 { return net.capacity[v] }
+
+// Servers returns the IDs of all server nodes.
+func (net *Network) Servers() []int {
+	var out []int
+	for v, ok := range net.isServer {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SetSetupCost sets the cost gamma of deploying a new instance of VNF f
+// on node v.
+func (net *Network) SetSetupCost(f, v int, cost float64) error {
+	if f < 0 || f >= len(net.catalog) {
+		return fmt.Errorf("%w: id %d", ErrUnknownVNF, f)
+	}
+	if v < 0 || v >= net.g.NumNodes() {
+		return fmt.Errorf("%w: node %d", graph.ErrNodeOutOfRange, v)
+	}
+	if cost < 0 {
+		return fmt.Errorf("nfv: negative setup cost %v", cost)
+	}
+	net.setup[f][v] = cost
+	return nil
+}
+
+// SetupCost returns the cost of deploying a new instance of f on v;
+// zero when an instance is already deployed there (paper §IV-D).
+func (net *Network) SetupCost(f, v int) float64 {
+	if net.deployed[f][v] {
+		return 0
+	}
+	return net.setup[f][v]
+}
+
+// RawSetupCost returns the configured setup cost ignoring deployment.
+func (net *Network) RawSetupCost(f, v int) float64 { return net.setup[f][v] }
+
+// Deploy records a pre-deployed instance of f on v, consuming capacity.
+func (net *Network) Deploy(f, v int) error {
+	if f < 0 || f >= len(net.catalog) {
+		return fmt.Errorf("%w: id %d", ErrUnknownVNF, f)
+	}
+	if !net.IsServer(v) {
+		return fmt.Errorf("%w: node %d", ErrNotServer, v)
+	}
+	if net.deployed[f][v] {
+		return fmt.Errorf("%w: vnf %d node %d", ErrAlreadyDeployed, f, v)
+	}
+	if net.UsedCapacity(v)+net.catalog[f].Demand > net.capacity[v]+1e-9 {
+		return fmt.Errorf("%w: node %d used %v + %v > cap %v",
+			ErrCapacityExceeded, v, net.UsedCapacity(v), net.catalog[f].Demand, net.capacity[v])
+	}
+	net.deployed[f][v] = true
+	return nil
+}
+
+// Undeploy removes a deployed instance of f from v, freeing its
+// capacity. It is the teardown half of dynamic session management.
+func (net *Network) Undeploy(f, v int) error {
+	if f < 0 || f >= len(net.catalog) {
+		return fmt.Errorf("%w: id %d", ErrUnknownVNF, f)
+	}
+	if v < 0 || v >= net.g.NumNodes() || !net.deployed[f][v] {
+		return fmt.Errorf("nfv: no instance of VNF %d on node %d to undeploy", f, v)
+	}
+	net.deployed[f][v] = false
+	return nil
+}
+
+// IsDeployed reports whether an instance of f already runs on v.
+func (net *Network) IsDeployed(f, v int) bool { return net.deployed[f][v] }
+
+// UsedCapacity returns the resource units consumed on v by
+// pre-deployed instances.
+func (net *Network) UsedCapacity(v int) float64 {
+	var used float64
+	for f := range net.catalog {
+		if net.deployed[f][v] {
+			used += net.catalog[f].Demand
+		}
+	}
+	return used
+}
+
+// FreeCapacity returns the resource units still available on v for new
+// instances.
+func (net *Network) FreeCapacity(v int) float64 {
+	return net.capacity[v] - net.UsedCapacity(v)
+}
+
+// Metric returns the cached all-pairs shortest-path metric, computing
+// it on first use. The topology must not change after the first call.
+func (net *Network) Metric() *graph.Metric {
+	if net.metric == nil {
+		net.metric = net.g.FloydWarshall()
+	}
+	return net.metric
+}
+
+// Clone returns a deep copy of the network sharing nothing with the
+// original except the immutable graph and metric.
+func (net *Network) Clone() *Network {
+	c := &Network{
+		g:        net.g,
+		isServer: append([]bool(nil), net.isServer...),
+		capacity: append([]float64(nil), net.capacity...),
+		catalog:  append([]VNF(nil), net.catalog...),
+		deployed: make([][]bool, len(net.deployed)),
+		setup:    make([][]float64, len(net.setup)),
+		metric:   net.metric,
+	}
+	if net.coords != nil {
+		c.coords = append([]Point(nil), net.coords...)
+	}
+	if net.linkCap != nil {
+		c.linkCap = make(map[[2]int]int, len(net.linkCap))
+		for k, v := range net.linkCap {
+			c.linkCap[k] = v
+		}
+	}
+	for f := range net.deployed {
+		c.deployed[f] = append([]bool(nil), net.deployed[f]...)
+		c.setup[f] = append([]float64(nil), net.setup[f]...)
+	}
+	return c
+}

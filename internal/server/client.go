@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"sftree/internal/dynamic"
+	"sftree/internal/nfv"
+)
+
+// Client is a typed HTTP client for the sftserve API, usable by other
+// controllers or test harnesses.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a server base URL ("http://host:port"). httpClient
+// may be nil (http.DefaultClient).
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// APIError carries the server's error body and HTTP status.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.Status, e.Message)
+}
+
+// do round-trips a JSON request and decodes a JSON response into out
+// (skipped when out is nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode: %w", err)
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode: %w", err)
+	}
+	return nil
+}
+
+// Health checks the liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Solve submits a stateless solve.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Validate submits an embedding for server-side validation.
+func (c *Client) Validate(ctx context.Context, req ValidateRequest) (*ValidateResponse, error) {
+	var out ValidateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/validate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Render solves and returns the SVG bytes.
+func (c *Client) Render(ctx context.Context, req SolveRequest) ([]byte, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/render", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return nil, &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Admit creates a session on the server's network.
+func (c *Client) Admit(ctx context.Context, task nfv.Task) (*AdmitResponse, error) {
+	var out AdmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", task, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Release tears a session down.
+func (c *Client) Release(ctx context.Context, id dynamic.SessionID) error {
+	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/sessions/%d", id), nil, nil)
+}
+
+// SessionStats fetches the manager counters.
+func (c *Client) SessionStats(ctx context.Context) (*dynamic.Stats, error) {
+	var out dynamic.Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IsNotFound reports whether err is an APIError with status 404.
+func IsNotFound(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
+}

@@ -1,0 +1,275 @@
+// Package server exposes the solver suite over HTTP, the way an SDN
+// controller would consume it (the paper's setting is centralized
+// computation in an SDN control plane). It offers stateless solving
+// and rendering endpoints that carry the full instance in the request,
+// plus a stateful session API backed by the dynamic manager on the
+// network the server was started with.
+//
+//	GET    /healthz               liveness probe
+//	POST   /v1/solve              {instance, algorithm?, seed?} -> embedding + costs
+//	POST   /v1/validate           {instance, embedding} -> verdict + replay
+//	POST   /v1/render             {instance, algorithm?} -> image/svg+xml
+//	POST   /v1/sessions           task -> admitted session (server network)
+//	GET    /v1/sessions           manager statistics
+//	DELETE /v1/sessions/{id}      release a session
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+
+	"sftree/internal/baseline"
+	"sftree/internal/core"
+	"sftree/internal/dynamic"
+	"sftree/internal/exact"
+	"sftree/internal/nfv"
+	"sftree/internal/viz"
+)
+
+// MaxBodyBytes caps request bodies.
+const MaxBodyBytes = 16 << 20
+
+// Server is the HTTP facade. Create it with New; it implements
+// http.Handler.
+type Server struct {
+	mux *http.ServeMux
+	mgr *dynamic.Manager
+	net *nfv.Network
+}
+
+// New builds a server. net backs the stateful session API and may be
+// nil, in which case only the stateless endpoints are served.
+func New(net *nfv.Network, opts core.Options) *Server {
+	s := &Server{mux: http.NewServeMux(), net: net}
+	if net != nil {
+		s.mgr = dynamic.NewManager(net, opts)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
+	s.mux.HandleFunc("POST /v1/render", s.handleRender)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleAdmit)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionStats)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleRelease)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// SolveRequest is the body of POST /v1/solve and /v1/render.
+type SolveRequest struct {
+	Instance  nfv.InstanceDoc `json:"instance"`
+	Algorithm string          `json:"algorithm,omitempty"` // msa (default), msa1, sca, rsa, bks
+	Seed      int64           `json:"seed,omitempty"`      // rsa only
+}
+
+// SolveResponse is the body of a successful solve.
+type SolveResponse struct {
+	Algorithm string            `json:"algorithm"`
+	Embedding *nfv.Embedding    `json:"embedding"`
+	Cost      nfv.CostBreakdown `json:"cost"`
+	Stage1    float64           `json:"stage1_cost"`
+	Moves     int               `json:"moves_accepted"`
+}
+
+// ValidateRequest is the body of POST /v1/validate.
+type ValidateRequest struct {
+	Instance  nfv.InstanceDoc `json:"instance"`
+	Embedding *nfv.Embedding  `json:"embedding"`
+}
+
+// ValidateResponse reports the verdict of POST /v1/validate.
+type ValidateResponse struct {
+	Valid     bool              `json:"valid"`
+	Reason    string            `json:"reason,omitempty"`
+	Cost      nfv.CostBreakdown `json:"cost"`
+	Delivered int               `json:"delivered"`
+}
+
+// AdmitResponse is the body of a successful admission.
+type AdmitResponse struct {
+	ID   dynamic.SessionID `json:"id"`
+	Cost float64           `json:"cost"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // headers are sent; nothing left to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// runAlgorithm dispatches one stateless solve.
+func runAlgorithm(req *SolveRequest) (*core.Result, error) {
+	net, task := req.Instance.Network, req.Instance.Task
+	if net == nil {
+		return nil, errors.New("request carries no network")
+	}
+	switch req.Algorithm {
+	case "", "msa":
+		return core.Solve(net, task, core.Options{})
+	case "msa1":
+		return core.SolveStageOne(net, task, core.Options{})
+	case "sca":
+		return baseline.SCA(net, task, core.Options{})
+	case "rsa":
+		return baseline.RSA(net, task, rand.New(rand.NewSource(req.Seed)), core.Options{})
+	case "onenode":
+		return baseline.OneNode(net, task, core.Options{})
+	case "bks":
+		res, err := exact.BestKnown(net, task)
+		if err != nil {
+			return nil, err
+		}
+		return res.Result, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+}
+
+func decodeBody[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := runAlgorithm(&req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, nfv.ErrInvalidTask) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "msa"
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{
+		Algorithm: algo,
+		Embedding: res.Embedding,
+		Cost:      req.Instance.Network.Cost(res.Embedding),
+		Stage1:    res.Stage1Cost,
+		Moves:     res.MovesAccepted,
+	})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req ValidateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Instance.Network == nil || req.Embedding == nil {
+		writeError(w, http.StatusBadRequest, errors.New("need both instance and embedding"))
+		return
+	}
+	resp := ValidateResponse{Valid: true}
+	if err := req.Instance.Network.Validate(req.Embedding); err != nil {
+		resp.Valid = false
+		resp.Reason = err.Error()
+	} else {
+		resp.Cost = req.Instance.Network.Cost(req.Embedding)
+		resp.Delivered = len(req.Embedding.Task.Destinations)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := runAlgorithm(&req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	blob, err := viz.RenderSVG(req.Instance.Network, res.Embedding, viz.Options{Title: "sftserve"})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	if s.mgr == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("server started without a network"))
+		return
+	}
+	var task nfv.Task
+	if !decodeBody(w, r, &task) {
+		return
+	}
+	sess, err := s.mgr.Admit(task)
+	if err != nil {
+		status := http.StatusConflict
+		if errors.Is(err, nfv.ErrInvalidTask) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, AdmitResponse{ID: sess.ID, Cost: sess.Result.FinalCost})
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, _ *http.Request) {
+	if s.mgr == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("server started without a network"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.mgr.Stats())
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if s.mgr == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("server started without a network"))
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id: %w", err))
+		return
+	}
+	if err := s.mgr.Release(dynamic.SessionID(id)); err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, dynamic.ErrUnknownSession) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}

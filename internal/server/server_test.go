@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+func testInstance(t *testing.T) nfv.InstanceDoc {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	net, err := netgen.Generate(netgen.PaperConfig(20, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := netgen.GenerateTask(net, rng, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nfv.InstanceDoc{Network: net, Task: task}
+}
+
+func newTestServer(t *testing.T, withNet bool) *httptest.Server {
+	t.Helper()
+	var net *nfv.Network
+	if withNet {
+		rng := rand.New(rand.NewSource(10))
+		var err error
+		net, err = netgen.Generate(netgen.PaperConfig(25, 2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(New(net, core.Options{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, false)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestSolveEndpointAlgorithms(t *testing.T) {
+	ts := newTestServer(t, false)
+	doc := testInstance(t)
+	for _, algo := range []string{"", "msa", "msa1", "sca", "rsa", "onenode", "bks"} {
+		t.Run("algo="+algo, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: doc, Algorithm: algo})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d", resp.StatusCode)
+			}
+			var out SolveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Embedding == nil || out.Cost.Total <= 0 {
+				t.Fatalf("response = %+v", out)
+			}
+			// The returned embedding must validate on our local copy.
+			if err := doc.Network.Validate(out.Embedding); err != nil {
+				t.Fatalf("returned embedding invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestSolveEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, false)
+	doc := testInstance(t)
+
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: doc, Algorithm: "nope"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown algorithm: status %d", resp.StatusCode)
+	}
+
+	bad := doc
+	bad.Task.Chain = nil
+	resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid task: status %d", resp.StatusCode)
+	}
+
+	r, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d", r.StatusCode)
+	}
+}
+
+func TestValidateEndpoint(t *testing.T) {
+	ts := newTestServer(t, false)
+	doc := testInstance(t)
+	res, err := core.Solve(doc.Network, doc.Task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/validate", ValidateRequest{Instance: doc, Embedding: res.Embedding})
+	var out ValidateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Valid || out.Delivered != 3 {
+		t.Fatalf("verdict = %+v", out)
+	}
+
+	// Corrupt the embedding: must be reported invalid with a reason.
+	broken := res.Embedding.Clone()
+	broken.Walks = broken.Walks[:1]
+	resp = postJSON(t, ts.URL+"/v1/validate", ValidateRequest{Instance: doc, Embedding: broken})
+	out = ValidateResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Valid || out.Reason == "" {
+		t.Fatalf("verdict = %+v", out)
+	}
+}
+
+func TestRenderEndpoint(t *testing.T) {
+	ts := newTestServer(t, false)
+	doc := testInstance(t)
+	resp := postJSON(t, ts.URL+"/v1/render", SolveRequest{Instance: doc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Errorf("body is not SVG: %.40s", buf.String())
+	}
+}
+
+func TestSessionLifecycleOverHTTP(t *testing.T) {
+	ts := newTestServer(t, true)
+	task := nfv.Task{Source: 0, Destinations: []int{5, 9}, Chain: nfv.SFC{0, 1}}
+
+	resp := postJSON(t, ts.URL+"/v1/sessions", task)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d", resp.StatusCode)
+	}
+	var admitted AdmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&admitted); err != nil {
+		t.Fatal(err)
+	}
+	if admitted.Cost <= 0 {
+		t.Fatalf("admitted = %+v", admitted)
+	}
+
+	statResp, err := http.Get(ts.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statResp.Body.Close()
+	var stats struct {
+		Admitted int `json:"admitted"`
+		Active   int `json:"active"`
+	}
+	if err := json.NewDecoder(statResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Admitted != 1 || stats.Active != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%d", ts.URL, admitted.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("release status = %d", delResp.StatusCode)
+	}
+
+	// Releasing again: 404.
+	again, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Body.Close()
+	if again.StatusCode != http.StatusNotFound {
+		t.Errorf("double release status = %d", again.StatusCode)
+	}
+
+	// Bad id: 400.
+	badReq, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/abc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp, err := http.DefaultClient.Do(badReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status = %d", badResp.StatusCode)
+	}
+}
+
+func TestSessionsWithoutNetwork(t *testing.T) {
+	ts := newTestServer(t, false)
+	resp := postJSON(t, ts.URL+"/v1/sessions", nfv.Task{Source: 0, Destinations: []int{1}, Chain: nfv.SFC{0}})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("status = %d, want 501", resp.StatusCode)
+	}
+	statResp, err := http.Get(ts.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statResp.Body.Close()
+	if statResp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("stats status = %d, want 501", statResp.StatusCode)
+	}
+}

@@ -1,0 +1,383 @@
+// Package sftilp translates an SFT-embedding instance into the
+// paper's integer linear program (formulation 1a-1f) for the
+// internal/ilp solver, and decodes solver output back into a validated
+// nfv.Embedding. One deviation from the printed formulation: the paper
+// omits the linking constraint phi <= pi + omega (a flow may only be
+// served where an instance exists), which is required for correctness
+// and is included here.
+package sftilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sftree/internal/ilp"
+	"sftree/internal/lp"
+	"sftree/internal/nfv"
+)
+
+var (
+	// ErrDecode reports solver output that does not form walks.
+	ErrDecode = errors.New("sftilp: cannot decode solution")
+	// ErrModelTooLarge reports an instance beyond the dense simplex's
+	// practical reach; callers wanting to try anyway can use BuildModel
+	// plus ilp.Solve directly.
+	ErrModelTooLarge = errors.New("sftilp: model too large for the built-in solver")
+)
+
+// MaxSolveVars caps the model size SolveExact will hand to the dense
+// simplex; beyond it a single LP relaxation becomes impractically slow
+// (the tableau is O(rows x cols) per pivot).
+const MaxSolveVars = 1500
+
+// Model is the ILP encoding of one instance plus the index maps needed
+// to decode solutions.
+type Model struct {
+	Prob *ilp.Problem
+
+	net     *nfv.Network
+	task    nfv.Task
+	servers []int
+
+	// Directed arcs: arc 2e is edge e traversed U->V, arc 2e+1 is V->U.
+	arcTail, arcHead []int
+	arcCost          []float64
+
+	omega map[[2]int]int // (level j, node) -> var (new instance), absent if deployed
+	phi   map[[3]int]int // (level j, destIdx, node) -> var
+	tau   map[[3]int]int // (destIdx, level j, arc) -> var
+	psi   map[[2]int]int // (level j, arc) -> var
+	nvars int
+}
+
+// BuildModel encodes the instance. Levels run 1..k for placements and
+// 0..k for flow stages (stage j carries traffic between chain VNF j
+// and j+1, with stage 0 leaving the source and stage k reaching the
+// destination).
+func BuildModel(net *nfv.Network, task nfv.Task) (*Model, error) {
+	if err := task.Validate(net); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		net:     net,
+		task:    task,
+		servers: net.Servers(),
+		omega:   make(map[[2]int]int),
+		phi:     make(map[[3]int]int),
+		tau:     make(map[[3]int]int),
+		psi:     make(map[[2]int]int),
+	}
+	g := net.Graph()
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		m.arcTail = append(m.arcTail, ed.U, ed.V)
+		m.arcHead = append(m.arcHead, ed.V, ed.U)
+		m.arcCost = append(m.arcCost, ed.Cost, ed.Cost)
+	}
+	k := task.K()
+	nd := len(task.Destinations)
+	numArcs := len(m.arcCost)
+
+	// Allocate variables.
+	for j := 1; j <= k; j++ {
+		f := task.Chain[j-1]
+		for _, u := range m.servers {
+			if !net.IsDeployed(f, u) {
+				m.omega[[2]int{j, u}] = m.nvars
+				m.nvars++
+			}
+			for d := 0; d < nd; d++ {
+				m.phi[[3]int{j, d, u}] = m.nvars
+				m.nvars++
+			}
+		}
+	}
+	for d := 0; d < nd; d++ {
+		for j := 0; j <= k; j++ {
+			for a := 0; a < numArcs; a++ {
+				m.tau[[3]int{d, j, a}] = m.nvars
+				m.nvars++
+			}
+		}
+	}
+	for j := 0; j <= k; j++ {
+		for a := 0; a < numArcs; a++ {
+			m.psi[[2]int{j, a}] = m.nvars
+			m.nvars++
+		}
+	}
+
+	// Objective (1a).
+	obj := make([]float64, m.nvars)
+	for key, v := range m.omega {
+		obj[v] = net.SetupCost(task.Chain[key[0]-1], key[1])
+	}
+	for key, v := range m.psi {
+		obj[v] = m.arcCost[key[1]]
+	}
+	prob := &ilp.Problem{
+		LP:      lp.Problem{NumVars: m.nvars, Objective: obj},
+		Integer: make([]bool, m.nvars),
+	}
+	for _, v := range m.omega {
+		prob.Integer[v] = true
+	}
+	for _, v := range m.phi {
+		prob.Integer[v] = true
+	}
+	for _, v := range m.tau {
+		prob.Integer[v] = true
+	}
+	// psi stays continuous: with psi >= tau and a minimized non-negative
+	// objective it lands on max_d tau in {0,1} automatically.
+
+	// Binary upper bounds.
+	for _, v := range m.omega {
+		prob.LP.AddConstraint(map[int]float64{v: 1}, lp.LE, 1)
+	}
+	for _, v := range m.phi {
+		prob.LP.AddConstraint(map[int]float64{v: 1}, lp.LE, 1)
+	}
+	for _, v := range m.tau {
+		prob.LP.AddConstraint(map[int]float64{v: 1}, lp.LE, 1)
+	}
+
+	// (1b) every destination is served once per level.
+	for j := 1; j <= k; j++ {
+		for d := 0; d < nd; d++ {
+			coeffs := make(map[int]float64, len(m.servers))
+			for _, u := range m.servers {
+				coeffs[m.phi[[3]int{j, d, u}]] = 1
+			}
+			prob.LP.AddConstraint(coeffs, lp.EQ, 1)
+		}
+	}
+
+	// Linking: phi <= pi + omega.
+	for j := 1; j <= k; j++ {
+		f := task.Chain[j-1]
+		for _, u := range m.servers {
+			if net.IsDeployed(f, u) {
+				continue // pi = 1, constraint trivially satisfied
+			}
+			ov := m.omega[[2]int{j, u}]
+			for d := 0; d < nd; d++ {
+				prob.LP.AddConstraint(map[int]float64{
+					m.phi[[3]int{j, d, u}]: 1,
+					ov:                     -1,
+				}, lp.LE, 0)
+			}
+		}
+	}
+
+	// (1d) capacity: sum_j omega_{j,u} * mu_j <= free capacity.
+	for _, u := range m.servers {
+		coeffs := make(map[int]float64)
+		for j := 1; j <= k; j++ {
+			if v, ok := m.omega[[2]int{j, u}]; ok {
+				vnf, err := net.VNF(task.Chain[j-1])
+				if err != nil {
+					return nil, err
+				}
+				coeffs[v] = vnf.Demand
+			}
+		}
+		if len(coeffs) > 0 {
+			prob.LP.AddConstraint(coeffs, lp.LE, net.FreeCapacity(u))
+		}
+	}
+
+	// (1e) per-destination, per-stage flow conservation:
+	// out(u) - in(u) >= phi_j(u) - phi_{j+1}(u), with phi_0 pinned to
+	// the source and phi_{k+1} pinned to the destination.
+	outArcs := make([][]int, net.NumNodes())
+	inArcs := make([][]int, net.NumNodes())
+	for a := 0; a < numArcs; a++ {
+		outArcs[m.arcTail[a]] = append(outArcs[m.arcTail[a]], a)
+		inArcs[m.arcHead[a]] = append(inArcs[m.arcHead[a]], a)
+	}
+	isServer := make(map[int]bool, len(m.servers))
+	for _, u := range m.servers {
+		isServer[u] = true
+	}
+	for d := 0; d < nd; d++ {
+		dest := task.Destinations[d]
+		for j := 0; j <= k; j++ {
+			for u := 0; u < net.NumNodes(); u++ {
+				coeffs := make(map[int]float64)
+				for _, a := range outArcs[u] {
+					coeffs[m.tau[[3]int{d, j, a}]] += 1
+				}
+				for _, a := range inArcs[u] {
+					coeffs[m.tau[[3]int{d, j, a}]] -= 1
+				}
+				// RHS contribution from phi terms (moved left when they
+				// are variables).
+				rhs := 0.0
+				if j == 0 {
+					if u == task.Source {
+						rhs += 1
+					}
+				} else if isServer[u] {
+					coeffs[m.phi[[3]int{j, d, u}]] -= 1 // -phi_j(u) moved left
+				}
+				if j == k {
+					if u == dest {
+						rhs -= 1
+					}
+				} else if isServer[u] {
+					coeffs[m.phi[[3]int{j + 1, d, u}]] += 1 // +phi_{j+1}(u) moved left
+				}
+				if len(coeffs) == 0 && rhs <= 0 {
+					continue
+				}
+				prob.LP.AddConstraint(coeffs, lp.GE, rhs)
+			}
+		}
+	}
+
+	// (1f) psi dominates every destination's tau.
+	for d := 0; d < nd; d++ {
+		for j := 0; j <= k; j++ {
+			for a := 0; a < numArcs; a++ {
+				prob.LP.AddConstraint(map[int]float64{
+					m.psi[[2]int{j, a}]:    1,
+					m.tau[[3]int{d, j, a}]: -1,
+				}, lp.GE, 0)
+			}
+		}
+	}
+
+	m.Prob = prob
+	return m, nil
+}
+
+// NumVars returns the variable count of the model.
+func (m *Model) NumVars() int { return m.nvars }
+
+// Decode converts a solver solution vector into an embedding.
+func (m *Model) Decode(x []float64) (*nfv.Embedding, error) {
+	if len(x) != m.nvars {
+		return nil, fmt.Errorf("%w: %d values for %d variables", ErrDecode, len(x), m.nvars)
+	}
+	task := m.task
+	k := task.K()
+	e := &nfv.Embedding{Task: task.CloneTask()}
+
+	// New instances from omega.
+	for key, v := range m.omega {
+		if x[v] > 0.5 {
+			e.NewInstances = append(e.NewInstances, nfv.Instance{
+				VNF: task.Chain[key[0]-1], Node: key[1], Level: key[0],
+			})
+		}
+	}
+
+	// Walks: per destination, find serving nodes then trace arcs.
+	for d := range task.Destinations {
+		servingNode := make([]int, k+2)
+		servingNode[0] = task.Source
+		servingNode[k+1] = task.Destinations[d]
+		for j := 1; j <= k; j++ {
+			servingNode[j] = -1
+			for _, u := range m.servers {
+				if x[m.phi[[3]int{j, d, u}]] > 0.5 {
+					servingNode[j] = u
+					break
+				}
+			}
+			if servingNode[j] == -1 {
+				return nil, fmt.Errorf("%w: destination %d unserved at level %d", ErrDecode, task.Destinations[d], j)
+			}
+		}
+		walk := make(nfv.Walk, 0, k+1)
+		for j := 0; j <= k; j++ {
+			path, err := m.tracePath(x, d, j, servingNode[j], servingNode[j+1])
+			if err != nil {
+				return nil, err
+			}
+			walk = append(walk, nfv.Segment{Level: j, Path: path})
+		}
+		e.Walks = append(e.Walks, walk)
+	}
+	return e, nil
+}
+
+// tracePath follows the stage-j tau arcs of destination d from node
+// `from` to node `to`.
+func (m *Model) tracePath(x []float64, d, j, from, to int) ([]int, error) {
+	if from == to {
+		return []int{from}, nil
+	}
+	numArcs := len(m.arcCost)
+	used := make(map[int]bool)
+	path := []int{from}
+	cur := from
+	for step := 0; step <= numArcs; step++ {
+		next := -1
+		for a := 0; a < numArcs; a++ {
+			if used[a] || m.arcTail[a] != cur {
+				continue
+			}
+			if x[m.tau[[3]int{d, j, a}]] > 0.5 {
+				next = a
+				break
+			}
+		}
+		if next == -1 {
+			return nil, fmt.Errorf("%w: stage %d of destination index %d stuck at node %d", ErrDecode, j, d, cur)
+		}
+		used[next] = true
+		cur = m.arcHead[next]
+		path = append(path, cur)
+		if cur == to {
+			return path, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: stage %d of destination index %d loops", ErrDecode, j, d)
+}
+
+// Result is the outcome of SolveExact.
+type Result struct {
+	Status    ilp.Status
+	Embedding *nfv.Embedding // nil unless a feasible solution was found
+	Objective float64
+	Bound     float64
+	Nodes     int
+}
+
+// SolveExact builds the model, runs branch and bound, and decodes the
+// best solution. The returned embedding, when present, is validated
+// and its recomputed cost matches the reported objective.
+func SolveExact(net *nfv.Network, task nfv.Task, opts ilp.Options) (*Result, error) {
+	model, err := BuildModel(net, task)
+	if err != nil {
+		return nil, err
+	}
+	if model.NumVars() > MaxSolveVars {
+		return nil, fmt.Errorf("%w: %d variables > %d (shrink the network, chain, or destination set)",
+			ErrModelTooLarge, model.NumVars(), MaxSolveVars)
+	}
+	res, err := ilp.Solve(model.Prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Status: res.Status, Bound: res.Bound, Nodes: res.Nodes}
+	if res.X == nil {
+		return out, nil
+	}
+	emb, err := model.Decode(res.X)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Validate(emb); err != nil {
+		return nil, fmt.Errorf("sftilp: decoded embedding invalid: %w", err)
+	}
+	out.Embedding = emb
+	out.Objective = res.Objective
+	if recomputed := net.Cost(emb).Total; math.Abs(recomputed-res.Objective) > 1e-5 {
+		return nil, fmt.Errorf("sftilp: objective %v != recomputed cost %v", res.Objective, recomputed)
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package sftilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/baseline"
+	"sftree/internal/core"
+	"sftree/internal/exact"
+	"sftree/internal/graph"
+	"sftree/internal/ilp"
+	"sftree/internal/nfv"
+)
+
+// tinyInstance builds a small random connected instance suitable for
+// exact solving: n nodes (all servers), chain length k, nd
+// destinations, some pre-deployments.
+func tinyInstance(rng *rand.Rand, n, k, nd int) (*nfv.Network, nfv.Task) {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, float64(1+rng.Intn(9)))
+	}
+	extra := rng.Intn(n)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			if _, ok := g.HasEdge(u, v); !ok {
+				g.MustAddEdge(u, v, float64(1+rng.Intn(9)))
+			}
+		}
+	}
+	catalog := make([]nfv.VNF, k+1)
+	for f := range catalog {
+		catalog[f] = nfv.VNF{ID: f, Name: "f", Demand: 1}
+	}
+	net := nfv.NewNetwork(g, catalog)
+	for v := 0; v < n; v++ {
+		if err := net.SetServer(v, float64(1+rng.Intn(3))); err != nil {
+			panic(err)
+		}
+		for f := range catalog {
+			if err := net.SetSetupCost(f, v, float64(rng.Intn(6))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		f, v := rng.Intn(len(catalog)), rng.Intn(n)
+		if !net.IsDeployed(f, v) && net.FreeCapacity(v) >= 1 {
+			if err := net.Deploy(f, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	perm := rng.Perm(n)
+	task := nfv.Task{Source: perm[0], Destinations: perm[1 : 1+nd], Chain: make(nfv.SFC, k)}
+	for j := range task.Chain {
+		task.Chain[j] = j
+	}
+	return net, task
+}
+
+func TestModelDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, task := tinyInstance(rng, 5, 2, 2)
+	m, err := BuildModel(net, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numArcs := 2 * net.Graph().NumEdges()
+	k, nd, s := task.K(), len(task.Destinations), len(net.Servers())
+	wantPhi := k * nd * s
+	if len(m.phi) != wantPhi {
+		t.Errorf("phi vars = %d, want %d", len(m.phi), wantPhi)
+	}
+	if len(m.tau) != nd*(k+1)*numArcs {
+		t.Errorf("tau vars = %d, want %d", len(m.tau), nd*(k+1)*numArcs)
+	}
+	if len(m.psi) != (k+1)*numArcs {
+		t.Errorf("psi vars = %d, want %d", len(m.psi), (k+1)*numArcs)
+	}
+	if m.NumVars() != len(m.phi)+len(m.tau)+len(m.psi)+len(m.omega) {
+		t.Errorf("NumVars inconsistent")
+	}
+}
+
+func TestExactOnWorkedLine(t *testing.T) {
+	// S=0 - 1 - 2 = d, chain (f0): setup 1 on both servers; the optimum
+	// hosts f0 on node 1 (on the way) for cost 1 + 2 = 3.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	catalog := []nfv.VNF{{ID: 0, Name: "f0", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	for _, v := range []int{1, 2} {
+		if err := net.SetServer(v, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SetSetupCost(0, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{2}, Chain: nfv.SFC{0}}
+	res, err := SolveExact(net, task, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ilp.Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-3) > 1e-6 {
+		t.Errorf("objective = %v, want 3", res.Objective)
+	}
+	if res.Embedding.ServingNode(0, 1) != 1 {
+		t.Errorf("f0 hosted on %d, want 1", res.Embedding.ServingNode(0, 1))
+	}
+}
+
+func TestExactPrefersDeployedInstance(t *testing.T) {
+	// Two equal-length routes; f0 pre-deployed on node 2 makes the
+	// lower route free of setup cost.
+	//
+	//	0 --1-- 1 --1-- 3
+	//	 \--1-- 2 --1--/
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	catalog := []nfv.VNF{{ID: 0, Name: "f0", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	for _, v := range []int{1, 2} {
+		if err := net.SetServer(v, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SetSetupCost(0, v, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Deploy(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0}}
+	res, err := SolveExact(net, task, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-2) > 1e-6 {
+		t.Errorf("objective = %v, want 2 (reuse f0@2)", res.Objective)
+	}
+	if res.Embedding.ServingNode(0, 1) != 2 {
+		t.Errorf("served at %d, want 2", res.Embedding.ServingNode(0, 1))
+	}
+}
+
+func TestExactMulticastSharesStageEdges(t *testing.T) {
+	// Star: source 0 center, f0 on it (deployed), two leaves 1,2. The
+	// shared stage is only the instance hop; each leaf edge is paid
+	// once at stage 1; optimum = 1 + 1 = 2.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	catalog := []nfv.VNF{{ID: 0, Name: "f0", Demand: 1}}
+	net := nfv.NewNetwork(g, catalog)
+	if err := net.SetServer(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Deploy(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	task := nfv.Task{Source: 0, Destinations: []int{1, 2}, Chain: nfv.SFC{0}}
+	res, err := SolveExact(net, task, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-2) > 1e-6 {
+		t.Errorf("objective = %v, want 2", res.Objective)
+	}
+}
+
+func TestExactAgainstBruteForceAndHeuristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact cross-check is slow")
+	}
+	rng := rand.New(rand.NewSource(83))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 8; trial++ {
+		n := 4 + rng.Intn(2)  // 4..5 nodes
+		k := 1 + rng.Intn(2)  // 1..2 chain
+		nd := 1 + rng.Intn(2) // 1..2 destinations
+		net, task := tinyInstance(rng, n, k, nd)
+
+		res, err := SolveExact(net, task, ilp.Options{MaxNodes: 4000})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Status != ilp.Optimal {
+			continue // budget exhausted on an awkward instance; skip
+		}
+		checked++
+
+		// Brute force (shortest-path routing) upper-bounds the ILP optimum.
+		_, bfCost, err := exact.BruteForce(net, task, 100000)
+		if err != nil {
+			t.Fatalf("trial %d: brute force: %v", trial, err)
+		}
+		if res.Objective > bfCost+1e-5 {
+			t.Fatalf("trial %d: ILP optimum %v exceeds brute force %v", trial, res.Objective, bfCost)
+		}
+
+		// Every heuristic must be >= the ILP optimum.
+		if h, err := core.Solve(net, task, core.Options{}); err == nil {
+			if h.FinalCost < res.Objective-1e-5 {
+				t.Fatalf("trial %d: two-stage %v beat ILP optimum %v", trial, h.FinalCost, res.Objective)
+			}
+		}
+		if h, err := baseline.SCA(net, task, core.Options{}); err == nil {
+			if h.FinalCost < res.Objective-1e-5 {
+				t.Fatalf("trial %d: SCA %v beat ILP optimum %v", trial, h.FinalCost, res.Objective)
+			}
+		}
+	}
+	if checked < 3 {
+		t.Fatalf("only %d instances solved to optimality; cross-check too weak", checked)
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, task := tinyInstance(rng, 4, 1, 1)
+	m, err := BuildModel(net, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Decode([]float64{1, 2}); err == nil {
+		t.Error("short vector accepted")
+	}
+}

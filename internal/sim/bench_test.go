@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+)
+
+func BenchmarkReplay250Nodes25Dests(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := netgen.Generate(netgen.PaperConfig(250, 2), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := netgen.GenerateTask(net, rng, 25, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Solve(net, task, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(net, res.Embedding); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

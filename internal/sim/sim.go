@@ -1,0 +1,185 @@
+// Package sim replays an embedding as a flow-level multicast
+// simulation: every destination's walk is traversed hop by hop, VNF
+// processing is checked against the chain order, per-stage multicast
+// deduplication is applied edge by edge, and the traffic delivery cost
+// is re-derived from the observed transmissions. The replay shares no
+// code with nfv.Cost/Validate, so agreement between the two is a
+// strong end-to-end check; it also reports link-load statistics the
+// cost oracle does not track.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sftree/internal/nfv"
+)
+
+// ErrReplay reports an embedding the simulator could not deliver.
+var ErrReplay = errors.New("sim: replay failed")
+
+// EdgeLoad describes the traffic observed on one physical edge.
+type EdgeLoad struct {
+	U, V   int     // canonical endpoints (U < V)
+	Copies int     // distinct (stage, direction) flow copies carried
+	Cost   float64 // link cost paid: Copies * edge cost
+}
+
+// InstanceLoad reports how many destinations one VNF instance served.
+type InstanceLoad struct {
+	VNF, Node int
+	Flows     int // destinations processed
+}
+
+// Report is the outcome of a replay.
+type Report struct {
+	Delivered    int     // destinations that received the flow
+	SetupCost    float64 // cost of new instances actually traversed
+	LinkCost     float64 // sum over observed distinct (stage, arc) transmissions
+	TotalCost    float64
+	EdgeLoads    []EdgeLoad
+	MaxEdgeLoad  int   // max Copies over all edges
+	HopsPerDest  []int // physical hops each destination's flow travelled
+	InstancesHit int   // distinct instances (new or deployed) that processed traffic
+
+	// LatencyPerDest is the end-to-end path cost each destination's
+	// flow accumulated (no multicast dedup: latency is per receiver).
+	LatencyPerDest []float64
+	// MaxLatency and MeanLatency summarize LatencyPerDest.
+	MaxLatency, MeanLatency float64
+	// InstanceLoads lists every traversed instance with its fan-out,
+	// sorted by VNF then node.
+	InstanceLoads []InstanceLoad
+}
+
+// Replay drives the embedding end to end. It fails with ErrReplay on
+// any ordering, connectivity, or placement violation encountered
+// mid-flight.
+func Replay(net *nfv.Network, e *nfv.Embedding) (*Report, error) {
+	task := e.Task
+	k := task.K()
+	if len(e.Walks) != len(task.Destinations) {
+		return nil, fmt.Errorf("%w: %d walks for %d destinations", ErrReplay, len(e.Walks), len(task.Destinations))
+	}
+	newInst := make(map[[2]int]bool, len(e.NewInstances))
+	for _, inst := range e.NewInstances {
+		newInst[[2]int{inst.VNF, inst.Node}] = true
+	}
+
+	type stageArc struct{ stage, u, v int }
+	transmitted := make(map[stageArc]float64)
+	instancesHit := make(map[[2]int]int) // instance -> destinations served
+	report := &Report{
+		HopsPerDest:    make([]int, len(task.Destinations)),
+		LatencyPerDest: make([]float64, len(task.Destinations)),
+	}
+
+	for di, d := range task.Destinations {
+		walk := e.Walks[di]
+		if len(walk) != k+1 {
+			return nil, fmt.Errorf("%w: destination %d has %d stages, want %d", ErrReplay, d, len(walk), k+1)
+		}
+		at := task.Source
+		processed := 0 // chain VNFs applied so far
+		for _, seg := range walk {
+			if seg.Level != processed {
+				return nil, fmt.Errorf("%w: destination %d out-of-order stage %d (expected %d)",
+					ErrReplay, d, seg.Level, processed)
+			}
+			if len(seg.Path) == 0 || seg.Path[0] != at {
+				return nil, fmt.Errorf("%w: destination %d stage %d does not start at %d",
+					ErrReplay, d, seg.Level, at)
+			}
+			for i := 1; i < len(seg.Path); i++ {
+				u, v := seg.Path[i-1], seg.Path[i]
+				cost, ok := net.Graph().HasEdge(u, v)
+				if !ok {
+					return nil, fmt.Errorf("%w: destination %d hops over non-edge %d-%d", ErrReplay, d, u, v)
+				}
+				transmitted[stageArc{stage: seg.Level, u: u, v: v}] = cost
+				report.HopsPerDest[di]++
+				report.LatencyPerDest[di] += cost
+				at = v
+			}
+			at = seg.Path[len(seg.Path)-1]
+			// Leaving this stage means the next chain VNF processes the
+			// flow at the segment's terminal node (except the last stage,
+			// which terminates at the destination).
+			if seg.Level < k {
+				f := task.Chain[seg.Level]
+				if !net.IsDeployed(f, at) && !newInst[[2]int{f, at}] {
+					return nil, fmt.Errorf("%w: destination %d expects VNF %d at node %d but no instance is there",
+						ErrReplay, d, f, at)
+				}
+				instancesHit[[2]int{f, at}]++
+				processed++
+			}
+		}
+		if at != d {
+			return nil, fmt.Errorf("%w: flow for destination %d terminated at %d", ErrReplay, d, at)
+		}
+		if processed != k {
+			return nil, fmt.Errorf("%w: destination %d processed %d of %d VNFs", ErrReplay, d, processed, k)
+		}
+		report.Delivered++
+	}
+
+	// Setup cost: only new instances that actually processed traffic.
+	countedInst := make(map[[2]int]bool)
+	for key := range instancesHit {
+		if newInst[key] && !countedInst[key] {
+			countedInst[key] = true
+			report.SetupCost += net.SetupCost(key[0], key[1])
+		}
+	}
+	report.InstancesHit = len(instancesHit)
+	for key, flows := range instancesHit {
+		report.InstanceLoads = append(report.InstanceLoads, InstanceLoad{
+			VNF: key[0], Node: key[1], Flows: flows,
+		})
+	}
+	sort.Slice(report.InstanceLoads, func(a, b int) bool {
+		la, lb := report.InstanceLoads[a], report.InstanceLoads[b]
+		if la.VNF != lb.VNF {
+			return la.VNF < lb.VNF
+		}
+		return la.Node < lb.Node
+	})
+	for _, lat := range report.LatencyPerDest {
+		report.MeanLatency += lat
+		if lat > report.MaxLatency {
+			report.MaxLatency = lat
+		}
+	}
+	if len(report.LatencyPerDest) > 0 {
+		report.MeanLatency /= float64(len(report.LatencyPerDest))
+	}
+
+	// Link cost and per-edge loads from observed transmissions.
+	type canonEdge struct{ u, v int }
+	loads := make(map[canonEdge]*EdgeLoad)
+	for arc, cost := range transmitted {
+		report.LinkCost += cost
+		u, v := arc.u, arc.v
+		if u > v {
+			u, v = v, u
+		}
+		key := canonEdge{u: u, v: v}
+		ld, ok := loads[key]
+		if !ok {
+			ld = &EdgeLoad{U: u, V: v}
+			loads[key] = ld
+		}
+		ld.Copies++
+		ld.Cost += cost
+	}
+	for _, ld := range loads {
+		report.EdgeLoads = append(report.EdgeLoads, *ld)
+		if ld.Copies > report.MaxEdgeLoad {
+			report.MaxEdgeLoad = ld.Copies
+		}
+	}
+	report.TotalCost = report.SetupCost + report.LinkCost
+	return report, nil
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/baseline"
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+func solveOne(t *testing.T, seed int64, n, k, nd int) (*nfv.Network, *core.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := netgen.Generate(netgen.PaperConfig(n, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := netgen.GenerateTask(net, rng, nd, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, res
+}
+
+func TestReplayAgreesWithCostOracle(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		net, res := solveOne(t, seed, 30, 4, 5)
+		rep, err := Replay(net, res.Embedding)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bd := net.Cost(res.Embedding)
+		if math.Abs(rep.TotalCost-bd.Total) > 1e-6 {
+			t.Fatalf("seed %d: replay %v vs oracle %v", seed, rep.TotalCost, bd.Total)
+		}
+		if math.Abs(rep.SetupCost-bd.Setup) > 1e-6 {
+			t.Fatalf("seed %d: setup %v vs %v", seed, rep.SetupCost, bd.Setup)
+		}
+		if math.Abs(rep.LinkCost-bd.Link) > 1e-6 {
+			t.Fatalf("seed %d: link %v vs %v", seed, rep.LinkCost, bd.Link)
+		}
+		if rep.Delivered != len(res.Embedding.Task.Destinations) {
+			t.Fatalf("seed %d: delivered %d", seed, rep.Delivered)
+		}
+	}
+}
+
+func TestReplayAgreesForBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net, err := netgen.Generate(netgen.PaperConfig(40, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := netgen.GenerateTask(net, rng, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() (*core.Result, error){
+		"sca": func() (*core.Result, error) { return baseline.SCA(net, task, core.Options{}) },
+		"rsa": func() (*core.Result, error) { return baseline.RSA(net, task, rng, core.Options{}) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep, err := Replay(net, res.Embedding)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(rep.TotalCost-res.FinalCost) > 1e-6 {
+			t.Fatalf("%s: replay %v vs solver %v", name, rep.TotalCost, res.FinalCost)
+		}
+	}
+}
+
+func TestReplayDetectsMissingInstance(t *testing.T) {
+	net, res := solveOne(t, 3, 20, 2, 3)
+	emb := res.Embedding.Clone()
+	// Remove all new instances without touching walks; unless the whole
+	// chain was served by deployed instances, the replay must fail.
+	if len(emb.NewInstances) == 0 {
+		t.Skip("all instances reused; nothing to remove")
+	}
+	emb.NewInstances = nil
+	if _, err := Replay(net, emb); !errors.Is(err, ErrReplay) {
+		t.Errorf("got %v, want ErrReplay", err)
+	}
+}
+
+func TestReplayDetectsBrokenWalk(t *testing.T) {
+	net, res := solveOne(t, 4, 20, 2, 3)
+	emb := res.Embedding.Clone()
+	// Truncate the first multi-hop segment we can find; the following
+	// segment then no longer starts where the flow is.
+	broke := false
+	for di := range emb.Walks {
+		for si := range emb.Walks[di] {
+			if len(emb.Walks[di][si].Path) > 1 {
+				emb.Walks[di][si].Path = emb.Walks[di][si].Path[:1]
+				broke = true
+				break
+			}
+		}
+		if broke {
+			break
+		}
+	}
+	if !broke {
+		t.Skip("no multi-hop segment to truncate")
+	}
+	if _, err := Replay(net, emb); !errors.Is(err, ErrReplay) {
+		t.Errorf("got %v, want ErrReplay", err)
+	}
+}
+
+func TestReplayDetectsWrongStageOrder(t *testing.T) {
+	net, res := solveOne(t, 5, 20, 2, 3)
+	emb := res.Embedding.Clone()
+	if len(emb.Walks[0]) < 3 {
+		t.Skip("walk too short to permute")
+	}
+	emb.Walks[0][0], emb.Walks[0][1] = emb.Walks[0][1], emb.Walks[0][0]
+	if _, err := Replay(net, emb); !errors.Is(err, ErrReplay) {
+		t.Errorf("got %v, want ErrReplay", err)
+	}
+}
+
+func TestReplayDetectsWalkCountMismatch(t *testing.T) {
+	net, res := solveOne(t, 6, 20, 2, 3)
+	emb := res.Embedding.Clone()
+	emb.Walks = emb.Walks[:len(emb.Walks)-1]
+	if _, err := Replay(net, emb); !errors.Is(err, ErrReplay) {
+		t.Errorf("got %v, want ErrReplay", err)
+	}
+}
+
+func TestReplayLatencyAndInstanceLoads(t *testing.T) {
+	net, res := solveOne(t, 8, 25, 3, 5)
+	rep, err := Replay(net, res.Embedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LatencyPerDest) != 5 {
+		t.Fatalf("latencies = %d", len(rep.LatencyPerDest))
+	}
+	var sum, maxLat float64
+	for di, lat := range rep.LatencyPerDest {
+		if lat < 0 {
+			t.Errorf("dest %d negative latency", di)
+		}
+		// Latency bounds hops times min/max edge cost loosely; at least
+		// it must be zero iff the walk had zero hops.
+		if (lat == 0) != (rep.HopsPerDest[di] == 0) {
+			t.Errorf("dest %d: latency %v vs hops %d", di, lat, rep.HopsPerDest[di])
+		}
+		sum += lat
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	if math.Abs(rep.MeanLatency-sum/5) > 1e-9 || rep.MaxLatency != maxLat {
+		t.Errorf("latency summary: mean %v max %v", rep.MeanLatency, rep.MaxLatency)
+	}
+	// Instance loads: every chain level serves all 5 destinations in
+	// total, spread over its instances.
+	perVNF := map[int]int{}
+	for _, il := range rep.InstanceLoads {
+		if il.Flows < 1 {
+			t.Errorf("instance %+v with zero flows", il)
+		}
+		perVNF[il.VNF] += il.Flows
+	}
+	for _, f := range res.Embedding.Task.Chain {
+		if perVNF[f] != 5 {
+			t.Errorf("VNF %d served %d flows, want 5", f, perVNF[f])
+		}
+	}
+	if len(rep.InstanceLoads) != rep.InstancesHit {
+		t.Errorf("loads %d != hit %d", len(rep.InstanceLoads), rep.InstancesHit)
+	}
+}
+
+func TestReplayEdgeLoadsConsistent(t *testing.T) {
+	net, res := solveOne(t, 7, 25, 3, 6)
+	rep, err := Replay(net, res.Embedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, ld := range rep.EdgeLoads {
+		if ld.Copies < 1 {
+			t.Errorf("edge %d-%d zero copies", ld.U, ld.V)
+		}
+		if ld.Copies > rep.MaxEdgeLoad {
+			t.Errorf("edge %d-%d copies %d exceed max %d", ld.U, ld.V, ld.Copies, rep.MaxEdgeLoad)
+		}
+		sum += ld.Cost
+	}
+	if math.Abs(sum-rep.LinkCost) > 1e-6 {
+		t.Errorf("edge load cost sum %v != link cost %v", sum, rep.LinkCost)
+	}
+	for di, hops := range rep.HopsPerDest {
+		if hops == 0 && res.Embedding.Task.Destinations[di] != res.Embedding.Task.Source {
+			t.Errorf("destination %d reached with zero hops", di)
+		}
+	}
+}

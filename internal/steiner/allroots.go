@@ -1,0 +1,79 @@
+package steiner
+
+import (
+	"fmt"
+
+	"sftree/internal/graph"
+)
+
+// CostsWithExtraRoot runs the Dreyfus-Wagner dynamic program once and
+// returns, for every node v, the cost of a minimum Steiner tree
+// spanning terminals plus v. This answers "what does it cost to hang
+// the whole destination set off candidate host v" for every candidate
+// simultaneously, which the best-known-solution reference solver needs
+// when sweeping last-VNF hosts. The terminal count is capped at
+// MaxExactTerminals-1 because the DP subsets range over all terminals.
+func CostsWithExtraRoot(g *graph.Graph, m *graph.Metric, terminals []int) ([]float64, error) {
+	terminals = dedupTerminals(terminals)
+	if len(terminals) == 0 {
+		return nil, ErrNoTerminals
+	}
+	if len(terminals) > MaxExactTerminals-1 {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyTerminals, len(terminals), MaxExactTerminals-1)
+	}
+	for _, a := range terminals[1:] {
+		if m.Dist[terminals[0]][a] == graph.Inf {
+			return nil, fmt.Errorf("%w: %d and %d", ErrUnreachable, terminals[0], a)
+		}
+	}
+	n := g.NumNodes()
+	t := len(terminals)
+	full := 1 << t
+
+	dp := make([][]float64, full)
+	for mask := 1; mask < full; mask++ {
+		dp[mask] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			dp[mask][v] = graph.Inf
+		}
+	}
+	for i, term := range terminals {
+		mask := 1 << i
+		for v := 0; v < n; v++ {
+			dp[mask][v] = m.Dist[term][v]
+		}
+	}
+	for mask := 1; mask < full; mask++ {
+		if mask&(mask-1) == 0 {
+			continue
+		}
+		row := dp[mask]
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask ^ sub
+			if sub > other {
+				continue
+			}
+			ds, do := dp[sub], dp[other]
+			for v := 0; v < n; v++ {
+				if c := ds[v] + do[v]; c < row[v] {
+					row[v] = c
+				}
+			}
+		}
+		// One metric relaxation pass (valid because Dist satisfies the
+		// triangle inequality; see dreyfuswagner.go).
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if u == v || row[u] == graph.Inf {
+					continue
+				}
+				if c := row[u] + m.Dist[u][v]; c < row[v] {
+					row[v] = c
+				}
+			}
+		}
+	}
+	out := make([]float64, n)
+	copy(out, dp[full-1])
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package steiner
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sftree/internal/graph"
+)
+
+func TestMehlhornOnKnownGraph(t *testing.T) {
+	// Hub graph from the KMB test: optimum 3 via the hub.
+	g := graph.New(4)
+	g.MustAddEdge(0, 3, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 10)
+	tree, err := Mehlhorn(g, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Cost != 3 {
+		t.Errorf("cost = %v, want 3", tree.Cost)
+	}
+	if !g.IsTreeSpanning(tree.Edges, []int{0, 1, 2}) {
+		t.Error("not a spanning tree")
+	}
+}
+
+func TestMehlhornEdgeCases(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	if _, err := Mehlhorn(g, nil); !errors.Is(err, ErrNoTerminals) {
+		t.Errorf("empty: %v", err)
+	}
+	if tree, err := Mehlhorn(g, []int{2}); err != nil || tree.Cost != 0 {
+		t.Errorf("single terminal: %v %v", tree, err)
+	}
+	// Node 2 disconnected.
+	if _, err := Mehlhorn(g, []int{0, 2}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("disconnected: %v", err)
+	}
+}
+
+// Property: Mehlhorn spans the terminals, never beats the exact
+// optimum, and stays within the 2(1-1/t) factor.
+func TestQuickMehlhornSandwiched(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 6+rng.Intn(8), 14)
+		k := 2 + rng.Intn(3)
+		terms := rng.Perm(g.NumNodes())[:k]
+		m := g.FloydWarshall()
+		exact, err := DreyfusWagner(g, m, terms)
+		if err != nil {
+			return false
+		}
+		mh, err := Mehlhorn(g, terms)
+		if err != nil || !g.IsTreeSpanning(mh.Edges, terms) {
+			return false
+		}
+		bound := 2 * (1 - 1/float64(k)) * exact.Cost
+		return mh.Cost >= exact.Cost-1e-9 && mh.Cost <= bound+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mehlhorn and KMB approximate the same quantity; on random graphs
+// their costs should stay close (identical on most instances).
+func TestMehlhornTracksKMB(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	var worse int
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		g := randomConnectedGraph(rng, 20, 40)
+		terms := rng.Perm(20)[:5]
+		m := g.FloydWarshall()
+		kmb, err := KMB(g, m, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mh, err := Mehlhorn(g, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mh.Cost > kmb.Cost*1.5+1e-9 {
+			worse++
+		}
+	}
+	if worse > trials/3 {
+		t.Errorf("Mehlhorn much worse than KMB on %d/%d instances", worse, trials)
+	}
+}
+
+func BenchmarkMehlhorn250Nodes25Terminals(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnectedGraph(rng, 250, 500)
+	terms := rng.Perm(250)[:25]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mehlhorn(g, terms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a Steiner tree over a superset of terminals costs at least
+// as much as over the subset (monotonicity of the exact optimum).
+func TestQuickExactSteinerMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 6+rng.Intn(8), 10)
+		m := g.FloydWarshall()
+		perm := rng.Perm(g.NumNodes())
+		small := perm[:2+rng.Intn(2)]
+		large := perm[:len(small)+1]
+		ts, err := DreyfusWagner(g, m, small)
+		if err != nil {
+			return false
+		}
+		tl, err := DreyfusWagner(g, m, large)
+		if err != nil {
+			return false
+		}
+		return tl.Cost >= ts.Cost-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KMB and Takahashi-Matsuyama always return trees that span
+// the terminals, never beat the exact optimum, and respect their
+// approximation guarantee.
+func TestQuickHeuristicsSandwiched(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 6+rng.Intn(8), 14)
+		m := g.FloydWarshall()
+		k := 2 + rng.Intn(3)
+		terms := rng.Perm(g.NumNodes())[:k]
+		exact, err := DreyfusWagner(g, m, terms)
+		if err != nil {
+			return false
+		}
+		bound := 2 * (1 - 1/float64(k)) * exact.Cost
+		kmb, err := KMB(g, m, terms)
+		if err != nil || !g.IsTreeSpanning(kmb.Edges, terms) {
+			return false
+		}
+		if kmb.Cost < exact.Cost-1e-9 || kmb.Cost > bound+1e-9 {
+			return false
+		}
+		tm, err := TakahashiMatsuyama(g, m, terms[0], terms[1:])
+		if err != nil || !g.IsTreeSpanning(tm.Edges, terms) {
+			return false
+		}
+		return tm.Cost >= exact.Cost-1e-9 && tm.Cost <= bound+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CostsWithExtraRoot at a terminal equals the plain exact
+// Steiner cost over the terminals, and at any node v it is at most the
+// terminal cost plus v's distance to the nearest terminal... more
+// precisely: dp[v] <= dp[t*] + dist(t*, v) for every terminal t*.
+func TestQuickAllRootsConsistent(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 6+rng.Intn(6), 10)
+		m := g.FloydWarshall()
+		k := 2 + rng.Intn(3)
+		terms := rng.Perm(g.NumNodes())[:k]
+		costs, err := CostsWithExtraRoot(g, m, terms)
+		if err != nil {
+			return false
+		}
+		exact, err := DreyfusWagner(g, m, terms)
+		if err != nil {
+			return false
+		}
+		// At a terminal the extra root is free.
+		for _, v := range terms {
+			if math.Abs(costs[v]-exact.Cost) > 1e-9 {
+				return false
+			}
+		}
+		// Hanging any node off the tree is bounded by attach-via-terminal,
+		// and cross-checked against an independent exact solve.
+		for v := 0; v < g.NumNodes(); v++ {
+			if costs[v] > exact.Cost+m.Dist[terms[0]][v]+1e-9 {
+				return false
+			}
+			withV, err := DreyfusWagner(g, m, append(append([]int{}, terms...), v))
+			if err != nil {
+				return false
+			}
+			if math.Abs(costs[v]-withV.Cost) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pruning never removes a terminal-to-terminal connection:
+// the pruned edge set still spans all terminals.
+func TestQuickPrunePreservesSpan(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 5+rng.Intn(10), 12)
+		k := 2 + rng.Intn(3)
+		terms := rng.Perm(g.NumNodes())[:k]
+		// Start from a spanning tree of the whole graph (superset of any
+		// Steiner tree).
+		edges, _ := g.MSTKruskal()
+		pruned := Prune(g, edges, terms)
+		return g.IsTreeSpanning(pruned, terms)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package steiner implements Steiner-tree algorithms on undirected
+// weighted graphs: the Kou-Markowsky-Berman (KMB) 2-approximation used
+// by the paper's stage-one algorithm, the Takahashi-Matsuyama
+// path-growing heuristic (ablation alternative), and the exact
+// Dreyfus-Wagner dynamic program used as an optimality oracle on small
+// terminal sets.
+package steiner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sftree/internal/graph"
+)
+
+var (
+	// ErrUnreachable reports that some terminal cannot be connected.
+	ErrUnreachable = errors.New("steiner: terminal unreachable")
+	// ErrNoTerminals reports an empty terminal set.
+	ErrNoTerminals = errors.New("steiner: no terminals")
+	// ErrTooManyTerminals reports a terminal set too large for the
+	// exact Dreyfus-Wagner dynamic program.
+	ErrTooManyTerminals = errors.New("steiner: too many terminals for exact solve")
+)
+
+// Tree is a Steiner tree: a set of edge indices of the host graph and
+// their total cost. A tree over a single terminal is empty.
+type Tree struct {
+	Edges []int
+	Cost  float64
+}
+
+// Nodes returns the set of nodes touched by the tree's edges plus the
+// given terminals (so single-terminal trees still report the terminal).
+func (t Tree) Nodes(g *graph.Graph, terminals []int) map[int]bool {
+	nodes := make(map[int]bool, 2*len(t.Edges)+len(terminals))
+	for _, id := range t.Edges {
+		e := g.Edge(id)
+		nodes[e.U] = true
+		nodes[e.V] = true
+	}
+	for _, v := range terminals {
+		nodes[v] = true
+	}
+	return nodes
+}
+
+// dedupTerminals returns the unique terminals, preserving order.
+func dedupTerminals(terminals []int) []int {
+	seen := make(map[int]bool, len(terminals))
+	out := make([]int, 0, len(terminals))
+	for _, v := range terminals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// KMB computes a Steiner tree spanning terminals using the
+// Kou-Markowsky-Berman algorithm: MST of the metric closure over the
+// terminals, expansion of closure edges into shortest paths, MST of the
+// expansion, and pruning of non-terminal leaves. The result is within
+// 2(1-1/|terminals|) of optimal. m must be the metric of g.
+func KMB(g *graph.Graph, m *graph.Metric, terminals []int) (Tree, error) {
+	terminals = dedupTerminals(terminals)
+	switch len(terminals) {
+	case 0:
+		return Tree{}, ErrNoTerminals
+	case 1:
+		return Tree{}, nil
+	}
+	for _, a := range terminals[1:] {
+		if m.Dist[terminals[0]][a] == graph.Inf {
+			return Tree{}, fmt.Errorf("%w: %d and %d", ErrUnreachable, terminals[0], a)
+		}
+	}
+
+	// 1. MST of the metric closure over terminals (Prim, O(t^2)).
+	t := len(terminals)
+	inTree := make([]bool, t)
+	bestD := make([]float64, t)
+	bestFrom := make([]int, t)
+	for i := range bestD {
+		bestD[i] = graph.Inf
+		bestFrom[i] = -1
+	}
+	bestD[0] = 0
+	type closureEdge struct{ a, b int } // indices into terminals
+	closure := make([]closureEdge, 0, t-1)
+	for range terminals {
+		pick := -1
+		for i := 0; i < t; i++ {
+			if !inTree[i] && (pick == -1 || bestD[i] < bestD[pick]) {
+				pick = i
+			}
+		}
+		inTree[pick] = true
+		if bestFrom[pick] >= 0 {
+			closure = append(closure, closureEdge{a: bestFrom[pick], b: pick})
+		}
+		for i := 0; i < t; i++ {
+			if !inTree[i] {
+				if d := m.Dist[terminals[pick]][terminals[i]]; d < bestD[i] {
+					bestD[i] = d
+					bestFrom[i] = pick
+				}
+			}
+		}
+	}
+
+	// 2. Expand closure edges into shortest paths; collect distinct edges.
+	edgeSet := make(map[int]bool)
+	for _, ce := range closure {
+		path := m.Path(terminals[ce.a], terminals[ce.b])
+		for i := 1; i < len(path); i++ {
+			id, ok := cheapestEdgeBetween(g, path[i-1], path[i])
+			if !ok {
+				return Tree{}, fmt.Errorf("steiner: metric path uses non-edge %d-%d", path[i-1], path[i])
+			}
+			edgeSet[id] = true
+		}
+	}
+	subEdges := make([]int, 0, len(edgeSet))
+	for id := range edgeSet {
+		subEdges = append(subEdges, id)
+	}
+
+	// 3. MST of the expansion subgraph.
+	mstEdges := mstOfEdgeSubset(g, subEdges)
+
+	// 4. Prune non-terminal leaves.
+	pruned := Prune(g, mstEdges, terminals)
+	return treeFromEdges(g, pruned), nil
+}
+
+// TakahashiMatsuyama grows a Steiner tree from root by repeatedly
+// attaching the terminal closest (in metric distance) to the current
+// tree via a shortest path. Approximation factor 2(1-1/|terminals|),
+// often better than KMB in practice on geographic graphs.
+func TakahashiMatsuyama(g *graph.Graph, m *graph.Metric, root int, terminals []int) (Tree, error) {
+	terminals = dedupTerminals(append([]int{root}, terminals...))
+	if len(terminals) == 1 {
+		return Tree{}, nil
+	}
+	for _, a := range terminals[1:] {
+		if m.Dist[root][a] == graph.Inf {
+			return Tree{}, fmt.Errorf("%w: %d from root %d", ErrUnreachable, a, root)
+		}
+	}
+	treeNodes := map[int]bool{root: true}
+	remaining := make([]int, 0, len(terminals)-1)
+	for _, v := range terminals[1:] {
+		if v != root {
+			remaining = append(remaining, v)
+		}
+	}
+	edgeSet := make(map[int]bool)
+	for len(remaining) > 0 {
+		// Closest (terminal, attach-node) pair.
+		bestT, bestIdx := -1, -1
+		var bestAttach int
+		bestD := graph.Inf
+		for i, term := range remaining {
+			for v := range treeNodes {
+				if d := m.Dist[term][v]; d < bestD {
+					bestD = d
+					bestT = term
+					bestIdx = i
+					bestAttach = v
+				}
+			}
+		}
+		if bestT == -1 {
+			return Tree{}, ErrUnreachable
+		}
+		path := m.Path(bestAttach, bestT)
+		for i := 1; i < len(path); i++ {
+			id, ok := cheapestEdgeBetween(g, path[i-1], path[i])
+			if !ok {
+				return Tree{}, fmt.Errorf("steiner: metric path uses non-edge %d-%d", path[i-1], path[i])
+			}
+			edgeSet[id] = true
+			treeNodes[path[i]] = true
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	edges := make([]int, 0, len(edgeSet))
+	for id := range edgeSet {
+		edges = append(edges, id)
+	}
+	// The union of attach paths can in rare cases contain a cycle; take
+	// an MST of the union and prune to be safe.
+	pruned := Prune(g, mstOfEdgeSubset(g, edges), terminals)
+	return treeFromEdges(g, pruned), nil
+}
+
+// Prune repeatedly removes edges incident to non-terminal leaves,
+// returning the surviving edge indices.
+func Prune(g *graph.Graph, edgeIDs []int, terminals []int) []int {
+	isTerminal := make(map[int]bool, len(terminals))
+	for _, v := range terminals {
+		isTerminal[v] = true
+	}
+	alive := make(map[int]bool, len(edgeIDs))
+	degree := make(map[int]int)
+	for _, id := range edgeIDs {
+		alive[id] = true
+		e := g.Edge(id)
+		degree[e.U]++
+		degree[e.V]++
+	}
+	for {
+		removed := false
+		for id := range alive {
+			e := g.Edge(id)
+			for _, v := range []int{e.U, e.V} {
+				if degree[v] == 1 && !isTerminal[v] {
+					delete(alive, id)
+					degree[e.U]--
+					degree[e.V]--
+					removed = true
+					break
+				}
+			}
+			if removed {
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	out := make([]int, 0, len(alive))
+	for id := range alive {
+		out = append(out, id)
+	}
+	return out
+}
+
+// cheapestEdgeBetween returns the index of the cheapest edge joining u
+// and v.
+func cheapestEdgeBetween(g *graph.Graph, u, v int) (int, bool) {
+	best, found := -1, false
+	bestCost := graph.Inf
+	for _, a := range g.Neighbors(u) {
+		if a.To == v && a.Cost < bestCost {
+			best, bestCost, found = a.Edge, a.Cost, true
+		}
+	}
+	return best, found
+}
+
+// mstOfEdgeSubset runs Kruskal restricted to the given edge indices.
+func mstOfEdgeSubset(g *graph.Graph, edgeIDs []int) []int {
+	ids := make([]int, len(edgeIDs))
+	copy(ids, edgeIDs)
+	sort.Slice(ids, func(a, b int) bool {
+		return g.Edge(ids[a]).Cost < g.Edge(ids[b]).Cost
+	})
+	uf := graph.NewUnionFind(g.NumNodes())
+	var picked []int
+	for _, id := range ids {
+		e := g.Edge(id)
+		if uf.Union(e.U, e.V) {
+			picked = append(picked, id)
+		}
+	}
+	return picked
+}
+
+func treeFromEdges(g *graph.Graph, edgeIDs []int) Tree {
+	var cost float64
+	for _, id := range edgeIDs {
+		cost += g.Edge(id).Cost
+	}
+	return Tree{Edges: edgeIDs, Cost: cost}
+}

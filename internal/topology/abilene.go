@@ -1,0 +1,60 @@
+package topology
+
+import (
+	"math"
+
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// abileneCities lists the 11 PoPs of the Internet2 Abilene backbone,
+// the classic research topology (11 nodes, 14 links). Useful as a
+// second real-world evaluation network besides PalmettoNet.
+var abileneCities = []city{
+	{"Seattle", 47.61, -122.33},      // 0
+	{"Sunnyvale", 37.37, -122.04},    // 1
+	{"Los Angeles", 34.05, -118.24},  // 2
+	{"Denver", 39.74, -104.99},       // 3
+	{"Kansas City", 39.10, -94.58},   // 4
+	{"Houston", 29.76, -95.37},       // 5
+	{"Chicago", 41.88, -87.63},       // 6
+	{"Indianapolis", 39.77, -86.16},  // 7
+	{"Atlanta", 33.75, -84.39},       // 8
+	{"Washington DC", 38.91, -77.04}, // 9
+	{"New York", 40.71, -74.01},      // 10
+}
+
+// abileneEdges is the published 14-link Abilene adjacency.
+var abileneEdges = [][2]int{
+	{0, 1}, {0, 3}, // Seattle - Sunnyvale, Denver
+	{1, 2}, {1, 3}, // Sunnyvale - Los Angeles, Denver
+	{2, 5},         // Los Angeles - Houston
+	{3, 4},         // Denver - Kansas City
+	{4, 5}, {4, 7}, // Kansas City - Houston, Indianapolis
+	{5, 8},         // Houston - Atlanta
+	{7, 6}, {7, 8}, // Indianapolis - Chicago, Atlanta
+	{6, 10}, // Chicago - New York
+	{8, 9},  // Atlanta - Washington
+	{9, 10}, // Washington - New York
+}
+
+// Abilene returns the 11-node Internet2 Abilene backbone with
+// Euclidean (approximate km) link costs, coordinates, and city names.
+func Abilene() (*graph.Graph, []nfv.Point, []string) {
+	coords := make([]nfv.Point, len(abileneCities))
+	names := make([]string, len(abileneCities))
+	for i, c := range abileneCities {
+		coords[i] = nfv.Point{
+			X: c.lon * 111 * math.Cos(39*math.Pi/180),
+			Y: c.lat * 111,
+		}
+		names[i] = c.name
+	}
+	g := graph.New(len(abileneCities))
+	for _, e := range abileneEdges {
+		dx := coords[e[0]].X - coords[e[1]].X
+		dy := coords[e[0]].Y - coords[e[1]].Y
+		g.MustAddEdge(e[0], e[1], math.Sqrt(dx*dx+dy*dy))
+	}
+	return g, coords, names
+}

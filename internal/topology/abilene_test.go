@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+func TestAbileneShape(t *testing.T) {
+	g, coords, names := Abilene()
+	if g.NumNodes() != 11 {
+		t.Fatalf("nodes = %d, want 11", g.NumNodes())
+	}
+	if g.NumEdges() != 14 {
+		t.Fatalf("edges = %d, want 14 (published Abilene)", g.NumEdges())
+	}
+	if len(coords) != 11 || len(names) != 11 {
+		t.Fatal("metadata sizes wrong")
+	}
+	if !g.Connected() {
+		t.Fatal("Abilene not connected")
+	}
+}
+
+func TestAbileneGeography(t *testing.T) {
+	g, _, names := Abilene()
+	// Seattle(0) to New York(10): roughly 4000 km across the continent.
+	d := g.Dijkstra(0).Dist[10]
+	if d < 3500 || d > 7000 {
+		t.Errorf("Seattle-New York backbone distance %v km implausible", d)
+	}
+	if names[0] != "Seattle" || names[10] != "New York" {
+		t.Errorf("names = %v", names)
+	}
+	for _, e := range g.Edges() {
+		if e.Cost <= 0 || math.IsInf(e.Cost, 0) {
+			t.Fatalf("edge %d-%d cost %v", e.U, e.V, e.Cost)
+		}
+	}
+}
+
+func TestAbileneSolvesEndToEnd(t *testing.T) {
+	g, coords, _ := Abilene()
+	rng := rand.New(rand.NewSource(17))
+	net, err := netgen.Materialize(g, coords, netgen.PaperConfig(11, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seattle streams to the east coast through a 3-function chain.
+	task := nfv.Task{Source: 0, Destinations: []int{8, 9, 10}, Chain: nfv.SFC{0, 1, 2}}
+	res, err := core.Solve(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}

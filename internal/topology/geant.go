@@ -1,0 +1,78 @@
+package topology
+
+import (
+	"math"
+
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// geantCities lists a 24-node reconstruction of the GEANT European
+// research backbone (circa the widely used 2004 snapshot): one PoP per
+// country, wired along the published ring-and-chord structure. Like
+// the PalmettoNet reconstruction, only the node count, sparsity, and
+// Euclidean costs matter to the experiments.
+var geantCities = []city{
+	{"London", 51.51, -0.13},     // 0
+	{"Paris", 48.86, 2.35},       // 1
+	{"Brussels", 50.85, 4.35},    // 2
+	{"Amsterdam", 52.37, 4.90},   // 3
+	{"Frankfurt", 50.11, 8.68},   // 4
+	{"Geneva", 46.20, 6.14},      // 5
+	{"Milan", 45.46, 9.19},       // 6
+	{"Vienna", 48.21, 16.37},     // 7
+	{"Prague", 50.08, 14.44},     // 8
+	{"Warsaw", 52.23, 21.01},     // 9
+	{"Budapest", 47.50, 19.04},   // 10
+	{"Zagreb", 45.81, 15.98},     // 11
+	{"Rome", 41.90, 12.50},       // 12
+	{"Madrid", 40.42, -3.70},     // 13
+	{"Lisbon", 38.72, -9.14},     // 14
+	{"Dublin", 53.35, -6.26},     // 15
+	{"Copenhagen", 55.68, 12.57}, // 16
+	{"Stockholm", 59.33, 18.06},  // 17
+	{"Helsinki", 60.17, 24.94},   // 18
+	{"Tallinn", 59.44, 24.75},    // 19
+	{"Riga", 56.95, 24.11},       // 20
+	{"Athens", 37.98, 23.73},     // 21
+	{"Sofia", 42.70, 23.32},      // 22
+	{"Bucharest", 44.43, 26.10},  // 23
+}
+
+// geantEdges wires the PoPs (36 links).
+var geantEdges = [][2]int{
+	// Western core mesh.
+	{0, 1}, {0, 3}, {0, 15}, {1, 2}, {1, 5}, {1, 13},
+	{2, 3}, {3, 4}, {3, 16}, {4, 5}, {4, 8}, {4, 16},
+	{5, 6}, {6, 12}, {6, 7},
+	// Iberia.
+	{13, 14}, {0, 14},
+	// Nordics and Baltics.
+	{16, 17}, {17, 18}, {18, 19}, {19, 20}, {20, 9},
+	// Central and eastern ring.
+	{8, 9}, {8, 7}, {7, 10}, {10, 11}, {11, 6}, {10, 23},
+	{23, 22}, {22, 21}, {21, 12},
+	// Chords.
+	{9, 10}, {4, 7}, {12, 5}, {17, 4}, {15, 1},
+}
+
+// Geant returns the 24-node GEANT backbone reconstruction with
+// Euclidean (approximate km) link costs, coordinates, and city names.
+func Geant() (*graph.Graph, []nfv.Point, []string) {
+	coords := make([]nfv.Point, len(geantCities))
+	names := make([]string, len(geantCities))
+	for i, c := range geantCities {
+		coords[i] = nfv.Point{
+			X: c.lon * 111 * math.Cos(48*math.Pi/180),
+			Y: c.lat * 111,
+		}
+		names[i] = c.name
+	}
+	g := graph.New(len(geantCities))
+	for _, e := range geantEdges {
+		dx := coords[e[0]].X - coords[e[1]].X
+		dy := coords[e[0]].Y - coords[e[1]].Y
+		g.MustAddEdge(e[0], e[1], math.Sqrt(dx*dx+dy*dy))
+	}
+	return g, coords, names
+}

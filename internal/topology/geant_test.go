@@ -1,0 +1,61 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+func TestGeantShape(t *testing.T) {
+	g, coords, names := Geant()
+	if g.NumNodes() != 24 {
+		t.Fatalf("nodes = %d, want 24", g.NumNodes())
+	}
+	if g.NumEdges() != 36 {
+		t.Fatalf("edges = %d, want 36", g.NumEdges())
+	}
+	if len(coords) != 24 || len(names) != 24 {
+		t.Fatal("metadata sizes wrong")
+	}
+	if !g.Connected() {
+		t.Fatal("GEANT reconstruction not connected")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate city %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGeantGeography(t *testing.T) {
+	g, _, _ := Geant()
+	// Lisbon (14) to Helsinki (18) spans the continent: expect a few
+	// thousand km along the backbone.
+	d := g.Dijkstra(14).Dist[18]
+	if d < 3000 || d > 9000 {
+		t.Errorf("Lisbon-Helsinki distance %v km implausible", d)
+	}
+}
+
+func TestGeantSolvesEndToEnd(t *testing.T) {
+	g, coords, _ := Geant()
+	rng := rand.New(rand.NewSource(23))
+	net, err := netgen.Materialize(g, coords, netgen.PaperConfig(24, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// London multicasts to Athens, Helsinki, Lisbon through 4 functions.
+	task := nfv.Task{Source: 0, Destinations: []int{21, 18, 14}, Chain: nfv.SFC{0, 1, 2, 3}}
+	res, err := core.Solve(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package topology provides hand-coded real-world network topologies.
+// PalmettoNet is the 45-node South Carolina research/education backbone
+// the paper evaluates on (topology-zoo.org). Because the dataset is
+// not redistributable here, the topology is a documented
+// reconstruction: the 45 largest South Carolina cities with
+// approximate geographic coordinates, wired along the state's
+// interstate and US-highway corridors into the ring-and-spur structure
+// of the published map. Every experiment only depends on the node
+// count, the sparse geographic structure, and Euclidean link costs,
+// all of which the reconstruction preserves (see DESIGN.md).
+package topology
+
+import (
+	"math"
+
+	"sftree/internal/graph"
+	"sftree/internal/nfv"
+)
+
+// city is one PalmettoNet PoP.
+type city struct {
+	name     string
+	lat, lon float64
+}
+
+// palmettoCities lists the 45 nodes. Indices are node IDs.
+var palmettoCities = []city{
+	{"Columbia", 34.00, -81.03},           // 0
+	{"Charleston", 32.78, -79.93},         // 1
+	{"North Charleston", 32.85, -79.97},   // 2
+	{"Greenville", 34.85, -82.40},         // 3
+	{"Spartanburg", 34.95, -81.93},        // 4
+	{"Rock Hill", 34.92, -81.03},          // 5
+	{"Mount Pleasant", 32.83, -79.82},     // 6
+	{"Summerville", 33.02, -80.18},        // 7
+	{"Sumter", 33.92, -80.34},             // 8
+	{"Goose Creek", 32.98, -80.03},        // 9
+	{"Hilton Head", 32.22, -80.75},        // 10
+	{"Florence", 34.20, -79.77},           // 11
+	{"Myrtle Beach", 33.69, -78.89},       // 12
+	{"Aiken", 33.56, -81.72},              // 13
+	{"Anderson", 34.50, -82.65},           // 14
+	{"Greer", 34.94, -82.23},              // 15
+	{"Mauldin", 34.78, -82.30},            // 16
+	{"Greenwood", 34.19, -82.16},          // 17
+	{"North Augusta", 33.50, -81.97},      // 18
+	{"Easley", 34.83, -82.60},             // 19
+	{"Simpsonville", 34.74, -82.25},       // 20
+	{"Hanahan", 32.93, -80.02},            // 21
+	{"Lexington", 33.98, -81.24},          // 22
+	{"Conway", 33.84, -79.05},             // 23
+	{"West Columbia", 33.99, -81.07},      // 24
+	{"North Myrtle Beach", 33.82, -78.68}, // 25
+	{"Clemson", 34.68, -82.84},            // 26
+	{"Orangeburg", 33.49, -80.86},         // 27
+	{"Cayce", 33.96, -81.07},              // 28
+	{"Bluffton", 32.24, -80.86},           // 29
+	{"Beaufort", 32.43, -80.67},           // 30
+	{"Gaffney", 35.07, -81.65},            // 31
+	{"Irmo", 34.09, -81.18},               // 32
+	{"Fort Mill", 35.01, -80.95},          // 33
+	{"Port Royal", 32.38, -80.69},         // 34
+	{"Forest Acres", 34.02, -80.96},       // 35
+	{"Newberry", 34.27, -81.62},           // 36
+	{"Laurens", 34.50, -82.01},            // 37
+	{"Camden", 34.25, -80.61},             // 38
+	{"Lancaster", 34.72, -80.77},          // 39
+	{"Georgetown", 33.38, -79.29},         // 40
+	{"Clinton", 34.47, -81.88},            // 41
+	{"Union", 34.72, -81.62},              // 42
+	{"Seneca", 34.69, -82.95},             // 43
+	{"Walterboro", 32.91, -80.67},         // 44
+}
+
+// palmettoEdges wires the cities along highway corridors.
+var palmettoEdges = [][2]int{
+	// I-26 corridor: Charleston - Summerville - Orangeburg - Columbia -
+	// Newberry - Clinton - Spartanburg.
+	{1, 2}, {2, 21}, {21, 9}, {9, 7}, {7, 27}, {27, 28}, {28, 24}, {24, 0},
+	{0, 32}, {32, 36}, {36, 41}, {41, 4},
+	// I-85 corridor: Gaffney - Spartanburg - Greer - Greenville -
+	// Easley - Clemson - Seneca / Anderson.
+	{31, 4}, {4, 15}, {15, 3}, {3, 19}, {19, 26}, {26, 43}, {26, 14}, {14, 19},
+	// Greenville metro ring.
+	{3, 16}, {16, 20}, {20, 15}, {16, 14},
+	// I-385 / US-276: Greenville - Simpsonville - Laurens - Clinton.
+	{20, 37}, {37, 41}, {37, 17},
+	// US-25/SC-72: Greenwood - Clinton / Greenwood - Newberry / Anderson.
+	{17, 41}, {17, 36}, {17, 14},
+	// I-77: Columbia - Camden(spur) - Lancaster - Rock Hill - Fort Mill.
+	{0, 35}, {35, 38}, {38, 39}, {39, 5}, {5, 33}, {33, 31},
+	// US-321/SC-9: Rock Hill - Union - Spartanburg; Lancaster ring.
+	{5, 42}, {42, 4}, {42, 36}, {39, 33},
+	// I-20: Columbia - Lexington - Aiken - North Augusta.
+	{24, 22}, {22, 13}, {13, 18}, {18, 13},
+	// I-20 east: Columbia - Camden - Florence.
+	{38, 11},
+	// I-95/US-378 interior: Sumter - Columbia, Sumter - Florence.
+	{0, 8}, {8, 11}, {8, 38}, {8, 27},
+	// Pee Dee / Grand Strand: Florence - Conway - Myrtle Beach -
+	// North Myrtle Beach; Georgetown links.
+	{11, 23}, {23, 12}, {12, 25}, {23, 25}, {12, 40}, {40, 23},
+	// US-17 coast: Mount Pleasant - Charleston - Georgetown.
+	{6, 1}, {6, 40},
+	// Lowcountry: Charleston - Walterboro - Beaufort - Port Royal -
+	// Hilton Head - Bluffton; Walterboro - Orangeburg.
+	{2, 44}, {44, 30}, {30, 34}, {34, 10}, {10, 29}, {29, 30}, {44, 27},
+	// Savannah-side tie: Bluffton - Hilton Head already; Aiken -
+	// Orangeburg interior link.
+	{13, 27},
+	// Greenwood - Aiken (US-25 south).
+	{17, 13},
+	// Irmo - Newberry local and Lexington - Cayce metro ring.
+	{22, 28}, {24, 35},
+}
+
+// Palmetto returns the reconstructed PalmettoNet topology: the graph
+// with Euclidean (approximate km) link costs, node coordinates, and
+// city names. The graph has 45 nodes and is connected.
+func Palmetto() (*graph.Graph, []nfv.Point, []string) {
+	coords := make([]nfv.Point, len(palmettoCities))
+	names := make([]string, len(palmettoCities))
+	for i, c := range palmettoCities {
+		// Equirectangular projection around 34N: 1 degree latitude is
+		// ~111 km, longitude scaled by cos(34 degrees).
+		coords[i] = nfv.Point{
+			X: c.lon * 111 * math.Cos(34*math.Pi/180),
+			Y: c.lat * 111,
+		}
+		names[i] = c.name
+	}
+	g := graph.New(len(palmettoCities))
+	seen := make(map[[2]int]bool, len(palmettoEdges))
+	for _, e := range palmettoEdges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || seen[[2]int{u, v}] {
+			continue // tolerate table typos without duplicating links
+		}
+		seen[[2]int{u, v}] = true
+		dx := coords[e[0]].X - coords[e[1]].X
+		dy := coords[e[0]].Y - coords[e[1]].Y
+		g.MustAddEdge(e[0], e[1], math.Sqrt(dx*dx+dy*dy))
+	}
+	return g, coords, names
+}

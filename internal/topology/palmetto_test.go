@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+)
+
+func TestPalmettoShape(t *testing.T) {
+	g, coords, names := Palmetto()
+	if g.NumNodes() != 45 {
+		t.Fatalf("nodes = %d, want 45", g.NumNodes())
+	}
+	if len(coords) != 45 || len(names) != 45 {
+		t.Fatalf("metadata sizes: %d coords, %d names", len(coords), len(names))
+	}
+	if !g.Connected() {
+		t.Fatal("Palmetto reconstruction is not connected")
+	}
+	// Sparse geographic backbone: average degree well under 4.
+	if avg := 2 * float64(g.NumEdges()) / float64(g.NumNodes()); avg > 4 {
+		t.Errorf("average degree %v too dense for a backbone", avg)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate city %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPalmettoEdgeCostsAreEuclidean(t *testing.T) {
+	g, coords, _ := Palmetto()
+	for _, e := range g.Edges() {
+		dx := coords[e.U].X - coords[e.V].X
+		dy := coords[e.U].Y - coords[e.V].Y
+		want := math.Sqrt(dx*dx + dy*dy)
+		if math.Abs(e.Cost-want) > 1e-9 {
+			t.Fatalf("edge %d-%d cost %v, want %v", e.U, e.V, e.Cost, want)
+		}
+		if e.Cost <= 0 {
+			t.Fatalf("edge %d-%d has non-positive cost", e.U, e.V)
+		}
+	}
+}
+
+func TestPalmettoNoDuplicateEdges(t *testing.T) {
+	g, _, _ := Palmetto()
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			t.Fatalf("duplicate edge %d-%d", u, v)
+		}
+		seen[[2]int{u, v}] = true
+	}
+}
+
+func TestPalmettoDistancesPlausible(t *testing.T) {
+	// Charleston (1) to Greenville (3) is roughly 300 km by road; the
+	// shortest path over the reconstruction should land in a sane band.
+	g, _, _ := Palmetto()
+	d := g.Dijkstra(1).Dist[3]
+	if d < 200 || d > 500 {
+		t.Errorf("Charleston-Greenville distance %v km implausible", d)
+	}
+}
+
+func TestPalmettoSolvesEndToEnd(t *testing.T) {
+	g, coords, _ := Palmetto()
+	rng := rand.New(rand.NewSource(13))
+	cfg := netgen.PaperConfig(45, 2)
+	net, err := netgen.Materialize(g, coords, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := netgen.GenerateTask(net, rng, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(net, task, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	if res.FinalCost <= 0 {
+		t.Errorf("cost = %v", res.FinalCost)
+	}
+}

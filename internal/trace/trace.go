@@ -1,0 +1,190 @@
+// Package trace generates multicast workload traces for the dynamic
+// session manager: Poisson session arrivals, exponential holding
+// times, Zipf-skewed destination popularity (a few popular edge sites
+// receive most sessions, as in CDN workloads), and per-session SFC
+// lengths drawn uniformly from a configured band.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sftree/internal/nfv"
+)
+
+// ErrBadConfig reports invalid trace parameters.
+var ErrBadConfig = errors.New("trace: invalid config")
+
+// EventKind distinguishes arrivals from departures.
+type EventKind int
+
+// Event kinds.
+const (
+	Arrival EventKind = iota + 1
+	Departure
+)
+
+// Event is one timeline entry. Arrival events carry the task;
+// departure events reference the arrival by index.
+type Event struct {
+	Time    float64
+	Kind    EventKind
+	Arrival int      // index of the matching arrival (both kinds)
+	Task    nfv.Task // set on arrivals
+}
+
+// Config controls trace generation.
+type Config struct {
+	// Sessions is the number of arrivals.
+	Sessions int
+	// ArrivalRate is the Poisson rate (sessions per time unit).
+	ArrivalRate float64
+	// MeanHold is the mean exponential session duration.
+	MeanHold float64
+	// DestMin/DestMax bound the per-session destination count.
+	DestMin, DestMax int
+	// ChainMin/ChainMax bound the per-session SFC length.
+	ChainMin, ChainMax int
+	// ZipfS is the Zipf skew (> 1) of destination popularity; nodes
+	// with a lower popularity rank attract more sessions.
+	ZipfS float64
+}
+
+// DefaultConfig returns a CDN-flavoured workload: 100 sessions,
+// one arrival per time unit, mean hold 10, 2-6 destinations, chains
+// of 3-5 functions, skew 1.3.
+func DefaultConfig() Config {
+	return Config{
+		Sessions:    100,
+		ArrivalRate: 1,
+		MeanHold:    10,
+		DestMin:     2,
+		DestMax:     6,
+		ChainMin:    3,
+		ChainMax:    5,
+		ZipfS:       1.3,
+	}
+}
+
+func (c Config) validate(net *nfv.Network) error {
+	switch {
+	case c.Sessions <= 0:
+		return fmt.Errorf("%w: %d sessions", ErrBadConfig, c.Sessions)
+	case c.ArrivalRate <= 0 || c.MeanHold <= 0:
+		return fmt.Errorf("%w: rate %v, hold %v", ErrBadConfig, c.ArrivalRate, c.MeanHold)
+	case c.DestMin < 1 || c.DestMax < c.DestMin || c.DestMax >= net.NumNodes():
+		return fmt.Errorf("%w: destinations [%d,%d] on %d nodes", ErrBadConfig, c.DestMin, c.DestMax, net.NumNodes())
+	case c.ChainMin < 1 || c.ChainMax < c.ChainMin || c.ChainMax > net.CatalogSize():
+		return fmt.Errorf("%w: chain [%d,%d] with catalog %d", ErrBadConfig, c.ChainMin, c.ChainMax, net.CatalogSize())
+	case c.ZipfS <= 1:
+		return fmt.Errorf("%w: zipf skew %v must exceed 1", ErrBadConfig, c.ZipfS)
+	}
+	return nil
+}
+
+// Generate produces a time-sorted event list (each arrival followed
+// eventually by its departure), deterministic in the rng.
+func Generate(net *nfv.Network, cfg Config, rng *rand.Rand) ([]Event, error) {
+	if err := cfg.validate(net); err != nil {
+		return nil, err
+	}
+	n := net.NumNodes()
+	// Popularity rank: a fixed random permutation of nodes; the Zipf
+	// variate picks a rank, the permutation maps it to a node.
+	rankToNode := rng.Perm(n)
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(n-1))
+
+	events := make([]Event, 0, 2*cfg.Sessions)
+	now := 0.0
+	for s := 0; s < cfg.Sessions; s++ {
+		now += rng.ExpFloat64() / cfg.ArrivalRate
+		task, err := sampleTask(net, cfg, rng, rankToNode, zipf)
+		if err != nil {
+			return nil, err
+		}
+		hold := rng.ExpFloat64() * cfg.MeanHold
+		events = append(events,
+			Event{Time: now, Kind: Arrival, Arrival: s, Task: task},
+			Event{Time: now + hold, Kind: Departure, Arrival: s},
+		)
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].Time < events[b].Time })
+	return events, nil
+}
+
+// sampleTask draws one multicast task with Zipf-popular destinations.
+func sampleTask(net *nfv.Network, cfg Config, rng *rand.Rand, rankToNode []int, zipf *rand.Zipf) (nfv.Task, error) {
+	n := net.NumNodes()
+	source := rng.Intn(n)
+	nd := cfg.DestMin
+	if cfg.DestMax > cfg.DestMin {
+		nd += rng.Intn(cfg.DestMax - cfg.DestMin + 1)
+	}
+	destSet := make(map[int]bool, nd)
+	for guard := 0; len(destSet) < nd && guard < 100*nd; guard++ {
+		v := rankToNode[int(zipf.Uint64())%n]
+		if v != source {
+			destSet[v] = true
+		}
+	}
+	if len(destSet) < nd {
+		return nfv.Task{}, fmt.Errorf("%w: could not draw %d distinct destinations", ErrBadConfig, nd)
+	}
+	dests := make([]int, 0, nd)
+	for v := range destSet {
+		dests = append(dests, v)
+	}
+	sort.Ints(dests) // determinism: map iteration order must not leak
+
+	k := cfg.ChainMin
+	if cfg.ChainMax > cfg.ChainMin {
+		k += rng.Intn(cfg.ChainMax - cfg.ChainMin + 1)
+	}
+	chain := make(nfv.SFC, k)
+	copy(chain, rng.Perm(net.CatalogSize())[:k])
+	return nfv.Task{Source: source, Destinations: dests, Chain: chain}, nil
+}
+
+// Summary describes a generated trace.
+type Summary struct {
+	Sessions     int
+	Span         float64 // time of the last event
+	MeanDests    float64
+	MeanChainLen float64
+	PeakOverlap  int // max sessions alive simultaneously
+}
+
+// Summarize computes trace statistics.
+func Summarize(events []Event) Summary {
+	var s Summary
+	alive := 0
+	var dests, chain int
+	for _, ev := range events {
+		if ev.Time > s.Span {
+			s.Span = ev.Time
+		}
+		switch ev.Kind {
+		case Arrival:
+			s.Sessions++
+			alive++
+			if alive > s.PeakOverlap {
+				s.PeakOverlap = alive
+			}
+			dests += len(ev.Task.Destinations)
+			chain += ev.Task.K()
+		case Departure:
+			alive--
+		}
+	}
+	if s.Sessions > 0 {
+		s.MeanDests = float64(dests) / float64(s.Sessions)
+		s.MeanChainLen = float64(chain) / float64(s.Sessions)
+	}
+	if math.IsNaN(s.Span) {
+		s.Span = 0
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+func testNet(t *testing.T) *nfv.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	net, err := netgen.Generate(netgen.PaperConfig(30, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestGenerateStructure(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig()
+	cfg.Sessions = 50
+	events, err := Generate(net, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 100 {
+		t.Fatalf("events = %d, want 100", len(events))
+	}
+	if !sort.SliceIsSorted(events, func(a, b int) bool { return events[a].Time < events[b].Time }) {
+		t.Fatal("events not time-sorted")
+	}
+	seenArrival := map[int]float64{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case Arrival:
+			if _, dup := seenArrival[ev.Arrival]; dup {
+				t.Fatalf("duplicate arrival %d", ev.Arrival)
+			}
+			seenArrival[ev.Arrival] = ev.Time
+			if err := ev.Task.Validate(net); err != nil {
+				t.Fatalf("arrival %d task invalid: %v", ev.Arrival, err)
+			}
+			if len(ev.Task.Destinations) < cfg.DestMin || len(ev.Task.Destinations) > cfg.DestMax {
+				t.Fatalf("arrival %d has %d destinations", ev.Arrival, len(ev.Task.Destinations))
+			}
+			if ev.Task.K() < cfg.ChainMin || ev.Task.K() > cfg.ChainMax {
+				t.Fatalf("arrival %d chain length %d", ev.Arrival, ev.Task.K())
+			}
+		case Departure:
+			at, ok := seenArrival[ev.Arrival]
+			if !ok {
+				t.Fatalf("departure %d before its arrival", ev.Arrival)
+			}
+			if ev.Time < at {
+				t.Fatalf("departure %d at %v before arrival at %v", ev.Arrival, ev.Time, at)
+			}
+		}
+	}
+	if len(seenArrival) != 50 {
+		t.Fatalf("distinct arrivals = %d", len(seenArrival))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig()
+	cfg.Sessions = 20
+	a, err := Generate(net, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(net, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || a[i].Kind != b[i].Kind || a[i].Arrival != b[i].Arrival {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesDestinations(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig()
+	cfg.Sessions = 300
+	cfg.ZipfS = 2.5
+	events, err := Generate(net, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	total := 0
+	for _, ev := range events {
+		if ev.Kind == Arrival {
+			for _, d := range ev.Task.Destinations {
+				counts[d]++
+				total++
+			}
+		}
+	}
+	// With strong skew, the top 5 nodes should absorb a large share.
+	var all []int
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top := 0
+	for i := 0; i < 5 && i < len(all); i++ {
+		top += all[i]
+	}
+	if float64(top) < 0.4*float64(total) {
+		t.Errorf("top-5 share %.2f too flat for skew 2.5", float64(top)/float64(total))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := testNet(t)
+	rng := rand.New(rand.NewSource(9))
+	bad := []Config{
+		{}, // zero everything
+		{Sessions: 5, ArrivalRate: 1, MeanHold: 1, DestMin: 0, DestMax: 3, ChainMin: 1, ChainMax: 2, ZipfS: 1.2},
+		{Sessions: 5, ArrivalRate: 1, MeanHold: 1, DestMin: 2, DestMax: 99, ChainMin: 1, ChainMax: 2, ZipfS: 1.2},
+		{Sessions: 5, ArrivalRate: 1, MeanHold: 1, DestMin: 1, DestMax: 2, ChainMin: 0, ChainMax: 2, ZipfS: 1.2},
+		{Sessions: 5, ArrivalRate: 1, MeanHold: 1, DestMin: 1, DestMax: 2, ChainMin: 1, ChainMax: 99, ZipfS: 1.2},
+		{Sessions: 5, ArrivalRate: 1, MeanHold: 1, DestMin: 1, DestMax: 2, ChainMin: 1, ChainMax: 2, ZipfS: 0.9},
+		{Sessions: 5, ArrivalRate: -1, MeanHold: 1, DestMin: 1, DestMax: 2, ChainMin: 1, ChainMax: 2, ZipfS: 1.2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(net, cfg, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %d: got %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	net := testNet(t)
+	cfg := DefaultConfig()
+	cfg.Sessions = 30
+	events, err := Generate(net, cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(events)
+	if s.Sessions != 30 {
+		t.Errorf("sessions = %d", s.Sessions)
+	}
+	if s.MeanDests < float64(cfg.DestMin) || s.MeanDests > float64(cfg.DestMax) {
+		t.Errorf("mean dests = %v", s.MeanDests)
+	}
+	if s.MeanChainLen < float64(cfg.ChainMin) || s.MeanChainLen > float64(cfg.ChainMax) {
+		t.Errorf("mean chain = %v", s.MeanChainLen)
+	}
+	if s.PeakOverlap < 1 || s.Span <= 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,110 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"sftree/internal/nfv"
+)
+
+// RenderDOT emits the network (and optionally an embedding) in
+// Graphviz DOT form, for researchers who post-process topologies with
+// the graphviz toolchain instead of viewing SVGs. Stage edges are
+// colored like RenderSVG; the base topology stays grey. Coordinates,
+// when present, become fixed node positions (neato-compatible).
+func RenderDOT(net *nfv.Network, emb *nfv.Embedding, opts Options) []byte {
+	var b strings.Builder
+	b.WriteString("graph sft {\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n", opts.Title)
+	}
+	b.WriteString("  node [shape=circle, fontsize=10];\n")
+
+	coords := net.Coords()
+	isDest := map[int]bool{}
+	source := -1
+	if emb != nil {
+		source = emb.Task.Source
+		for _, d := range emb.Task.Destinations {
+			isDest[d] = true
+		}
+	}
+	for v := 0; v < net.NumNodes(); v++ {
+		attrs := []string{}
+		label := fmt.Sprintf("%d", v)
+		if opts.Names != nil && v < len(opts.Names) {
+			label = opts.Names[v]
+		}
+		attrs = append(attrs, fmt.Sprintf("label=%q", label))
+		if net.IsServer(v) {
+			attrs = append(attrs, "shape=box")
+		}
+		switch {
+		case v == source:
+			attrs = append(attrs, `style=filled`, `fillcolor="#2ecc71"`)
+		case isDest[v]:
+			attrs = append(attrs, `style=filled`, `fillcolor="#f39c12"`)
+		}
+		if coords != nil {
+			attrs = append(attrs, fmt.Sprintf(`pos="%.1f,%.1f!"`, coords[v].X, coords[v].Y))
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", v, strings.Join(attrs, ", "))
+	}
+
+	// Which (stage, edge) pairs does the embedding use?
+	type stagePair struct {
+		level int
+		key   [2]int
+	}
+	used := map[[2]int][]int{} // canonical pair -> stages
+	if emb != nil {
+		seen := map[stagePair]bool{}
+		for _, w := range emb.Walks {
+			for _, seg := range w {
+				for i := 1; i < len(seg.Path); i++ {
+					u, v := seg.Path[i-1], seg.Path[i]
+					if u > v {
+						u, v = v, u
+					}
+					sp := stagePair{level: seg.Level, key: [2]int{u, v}}
+					if !seen[sp] {
+						seen[sp] = true
+						used[sp.key] = append(used[sp.key], seg.Level)
+					}
+				}
+			}
+		}
+	}
+	drawn := map[[2]int]bool{}
+	for _, e := range net.Graph().Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if drawn[key] {
+			continue // collapse parallels in the drawing
+		}
+		drawn[key] = true
+		if stages, ok := used[key]; ok {
+			colors := make([]string, len(stages))
+			for i, st := range stages {
+				colors[i] = stageColors[st%len(stageColors)]
+			}
+			fmt.Fprintf(&b, "  n%d -- n%d [color=%q, penwidth=2, label=\"%s\"];\n",
+				u, v, strings.Join(colors, ":"), stageList(stages))
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [color=\"#cccccc\"];\n", u, v)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+func stageList(stages []int) string {
+	parts := make([]string, len(stages))
+	for i, s := range stages {
+		parts[i] = fmt.Sprintf("s%d", s)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,51 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderDOTNetworkOnly(t *testing.T) {
+	net, _, names := solveOne(t)
+	out := string(RenderDOT(net, nil, Options{Names: names, Title: "palmetto"}))
+	if !strings.HasPrefix(out, "graph sft {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a DOT graph:\n%.60s", out)
+	}
+	if !strings.Contains(out, `label="palmetto"`) {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, `label="Columbia"`) {
+		t.Error("city labels missing")
+	}
+	if strings.Contains(out, "penwidth=2") {
+		t.Error("embedding edges drawn without an embedding")
+	}
+	// 45 nodes, each with a pos attribute.
+	if got := strings.Count(out, "pos="); got != 45 {
+		t.Errorf("pos attributes = %d, want 45", got)
+	}
+}
+
+func TestRenderDOTWithEmbedding(t *testing.T) {
+	net, emb, names := solveOne(t)
+	out := string(RenderDOT(net, emb, Options{Names: names}))
+	if !strings.Contains(out, "penwidth=2") {
+		t.Error("no embedding edges highlighted")
+	}
+	if !strings.Contains(out, `label="s`) {
+		t.Errorf("stage labels missing:\n%.200s", out)
+	}
+	if !strings.Contains(out, `fillcolor="#2ecc71"`) {
+		t.Error("source fill missing")
+	}
+	if !strings.Contains(out, `fillcolor="#f39c12"`) {
+		t.Error("destination fill missing")
+	}
+	// Balanced braces; edges use the undirected operator.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+	if !strings.Contains(out, " -- ") {
+		t.Error("no undirected edges emitted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package viz renders networks and SFT embeddings as standalone SVG
+// documents: the topology in grey, server nodes as squares, the
+// multicast source and destinations highlighted, each chain stage's
+// links in its own colour, and VNF instances labelled at their host
+// nodes. It exists so examples and the sftembed CLI can produce
+// figures akin to the paper's Figs. 1 and 6 for any instance.
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"sftree/internal/nfv"
+)
+
+// ErrNoCoords reports a network without node coordinates.
+var ErrNoCoords = errors.New("viz: network has no coordinates")
+
+// stageColors cycles per chain stage (stage 0 first).
+var stageColors = []string{
+	"#1b6ca8", "#c0392b", "#1e8449", "#8e44ad", "#d68910",
+	"#148f77", "#884ea0", "#a04000", "#2e4053", "#7b241c",
+}
+
+const (
+	canvas  = 720.0
+	margin  = 40.0
+	nodeR   = 7.0
+	labelDy = -11.0
+)
+
+// Options tunes rendering.
+type Options struct {
+	// Names labels nodes (optional; indices used otherwise).
+	Names []string
+	// Title is drawn at the top when non-empty.
+	Title string
+}
+
+// RenderSVG draws the network and, when emb is non-nil, its embedding.
+func RenderSVG(net *nfv.Network, emb *nfv.Embedding, opts Options) ([]byte, error) {
+	coords := net.Coords()
+	if coords == nil {
+		return nil, ErrNoCoords
+	}
+	// Fit coordinates into the canvas.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range coords {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	px := func(p nfv.Point) (float64, float64) {
+		x := margin + (p.X-minX)/spanX*(canvas-2*margin)
+		// SVG y grows downwards; geographic y grows upwards.
+		y := canvas - margin - (p.Y-minY)/spanY*(canvas-2*margin)
+		return x, y
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		canvas, canvas, canvas, canvas)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="24" font-family="sans-serif" font-size="16">%s</text>`+"\n",
+			margin, escape(opts.Title))
+	}
+
+	// Base topology.
+	for _, e := range net.Graph().Edges() {
+		x1, y1 := px(coords[e.U])
+		x2, y2 := px(coords[e.V])
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cccccc" stroke-width="1.5"/>`+"\n",
+			x1, y1, x2, y2)
+	}
+
+	// Embedding stage paths (drawn over the topology).
+	if emb != nil {
+		type stageArc struct{ level, u, v int }
+		drawn := map[stageArc]bool{}
+		for _, w := range emb.Walks {
+			for _, seg := range w {
+				color := stageColors[seg.Level%len(stageColors)]
+				for i := 1; i < len(seg.Path); i++ {
+					key := stageArc{seg.Level, seg.Path[i-1], seg.Path[i]}
+					if drawn[key] {
+						continue
+					}
+					drawn[key] = true
+					x1, y1 := px(coords[seg.Path[i-1]])
+					x2, y2 := px(coords[seg.Path[i]])
+					// Offset per stage so parallel stages stay visible.
+					off := float64(seg.Level%3) * 1.8
+					fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="3" stroke-opacity="0.75" transform="translate(%.1f,%.1f)"/>`+"\n",
+						x1, y1, x2, y2, color, off, off)
+				}
+			}
+		}
+	}
+
+	// Nodes.
+	isDest := map[int]bool{}
+	source := -1
+	if emb != nil {
+		source = emb.Task.Source
+		for _, d := range emb.Task.Destinations {
+			isDest[d] = true
+		}
+	}
+	instanceAt := map[int][]string{}
+	if emb != nil {
+		for _, inst := range emb.NewInstances {
+			instanceAt[inst.Node] = append(instanceAt[inst.Node],
+				fmt.Sprintf("+f%d", inst.VNF))
+		}
+		for di := range emb.Task.Destinations {
+			for lvl := 1; lvl <= emb.Task.K(); lvl++ {
+				node := emb.ServingNode(di, lvl)
+				tag := fmt.Sprintf("f%d", emb.Task.Chain[lvl-1])
+				dup := false
+				for _, t := range instanceAt[node] {
+					if strings.TrimPrefix(t, "+") == tag {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					instanceAt[node] = append(instanceAt[node], tag)
+				}
+			}
+		}
+	}
+	for v, p := range coords {
+		x, y := px(p)
+		fill := "#ffffff"
+		switch {
+		case v == source:
+			fill = "#2ecc71"
+		case isDest[v]:
+			fill = "#f39c12"
+		}
+		if net.IsServer(v) {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333333" stroke-width="1.5"/>`+"\n",
+				x-nodeR, y-nodeR, 2*nodeR, 2*nodeR, fill)
+		} else {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#333333" stroke-width="1.5"/>`+"\n",
+				x, y, nodeR, fill)
+		}
+		label := fmt.Sprintf("%d", v)
+		if opts.Names != nil && v < len(opts.Names) {
+			label = opts.Names[v]
+		}
+		if tags := instanceAt[v]; len(tags) > 0 {
+			label += " [" + strings.Join(tags, ",") + "]"
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x, y+labelDy, escape(label))
+	}
+
+	// Legend.
+	if emb != nil {
+		k := emb.Task.K()
+		for j := 0; j <= k; j++ {
+			y := 40.0 + float64(j)*16
+			fmt.Fprintf(&b, `<line x1="%.0f" y1="%.1f" x2="%.0f" y2="%.1f" stroke="%s" stroke-width="3"/>`+"\n",
+				canvas-150, y, canvas-120, y, stageColors[j%len(stageColors)])
+			fmt.Fprintf(&b, `<text x="%.0f" y="%.1f" font-family="sans-serif" font-size="11">stage %d</text>`+"\n",
+				canvas-112, y+4, j)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String()), nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

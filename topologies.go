@@ -1,0 +1,53 @@
+package sftree
+
+import (
+	"math/rand"
+
+	"sftree/internal/netgen"
+	"sftree/internal/topology"
+)
+
+// WaxmanConfig parameterizes Waxman random topologies (ISP-like
+// geographic graphs); see internal/netgen.
+type WaxmanConfig = netgen.WaxmanConfig
+
+// AbileneNetwork materializes the 11-node Internet2 Abilene backbone
+// with the given generator settings; returns the network plus city
+// names.
+func AbileneNetwork(cfg GenConfig, seed int64) (*Network, []string, error) {
+	g, coords, names := topology.Abilene()
+	net, err := netgen.Materialize(g, coords, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, names, nil
+}
+
+// GeantNetwork materializes the 24-node GEANT European backbone
+// reconstruction with the given generator settings; returns the
+// network plus city names.
+func GeantNetwork(cfg GenConfig, seed int64) (*Network, []string, error) {
+	g, coords, names := topology.Geant()
+	net, err := netgen.Materialize(g, coords, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, names, nil
+}
+
+// GenerateWaxmanNetwork samples a connected Waxman topology wrapped
+// with cfg's NFV metadata, deterministically from the seed.
+func GenerateWaxmanNetwork(wax WaxmanConfig, cfg GenConfig, seed int64) (*Network, error) {
+	return netgen.GenerateWaxman(wax, cfg, rand.New(rand.NewSource(seed)))
+}
+
+// FatTreeNetwork builds a k-ary fat-tree fabric (unit link costs) with
+// cfg's NFV metadata. Use FatTreeEdgeSwitches for the natural
+// multicast endpoints.
+func FatTreeNetwork(k int, cfg GenConfig, seed int64) (*Network, error) {
+	return netgen.FatTree(k, cfg, rand.New(rand.NewSource(seed)))
+}
+
+// FatTreeEdgeSwitches returns the edge-layer node IDs of a k-ary
+// fat-tree built by FatTreeNetwork.
+func FatTreeEdgeSwitches(k int) []int { return netgen.FatTreeEdgeSwitches(k) }

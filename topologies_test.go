@@ -1,0 +1,89 @@
+package sftree
+
+import (
+	"testing"
+)
+
+func TestAbileneNetworkSolves(t *testing.T) {
+	net, names, err := AbileneNetwork(DefaultGenConfig(11, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 11 || len(names) != 11 {
+		t.Fatalf("shape: %d nodes, %d names", net.NumNodes(), len(names))
+	}
+	task := Task{Source: 0, Destinations: []int{9, 10}, Chain: SFC{0, 1}}
+	res, err := SolveTwoStage(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestGeantNetworkSolves(t *testing.T) {
+	net, names, err := GeantNetwork(DefaultGenConfig(24, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 24 || names[0] != "London" {
+		t.Fatalf("shape: %d nodes, names[0]=%q", net.NumNodes(), names[0])
+	}
+	task := Task{Source: 0, Destinations: []int{12, 17}, Chain: SFC{0, 1}}
+	res, err := SolveTwoStage(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestWaxmanNetworkSolves(t *testing.T) {
+	net, err := GenerateWaxmanNetwork(WaxmanConfig{Nodes: 40}, DefaultGenConfig(40, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := GenerateTask(net, 3, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveTwoStage(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestFatTreeNetworkSolves(t *testing.T) {
+	net, err := FatTreeNetwork(4, DefaultGenConfig(0, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := FatTreeEdgeSwitches(4)
+	task := Task{Source: edges[0], Destinations: edges[2:6], Chain: SFC{0, 1}}
+	res, err := SolveTwoStage(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Multicast sharing: the SFT must be cheaper than four independent
+	// unicast embeddings of the same chain.
+	var unicastTotal float64
+	for _, d := range task.Destinations {
+		one := Task{Source: task.Source, Destinations: []int{d}, Chain: task.Chain}
+		r, err := SolveTwoStage(net, one, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unicastTotal += r.FinalCost
+	}
+	if res.FinalCost >= unicastTotal {
+		t.Errorf("multicast %v not cheaper than unicast sum %v", res.FinalCost, unicastTotal)
+	}
+}
