@@ -7,6 +7,7 @@
 //	sftbench -fig 13 -trials 10 -ref  # Fig. 13 with the OPT* reference
 //	sftbench -fig ablations           # design-choice ablations
 //	sftbench -fig 8 -csv out/         # also write out/fig8.csv
+//	sftbench -json BENCH_core.json    # hot-path micro-benchmarks as JSON
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"sftree/internal/benchsuite"
 	"sftree/internal/experiments"
 )
 
@@ -35,9 +37,13 @@ func run(args []string) error {
 		csvDir   = fs.String("csv", "", "directory to also write per-figure CSV files into")
 		parallel = fs.Int("parallel", 1, "concurrent trials per point (>1 makes timing columns noisy)")
 		chart    = fs.Bool("chart", false, "also draw ASCII bar charts of the cost series")
+		jsonOut  = fs.String("json", "", "run the hot-path micro-benchmark suite and write its JSON report to this file (skips figures)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut != "" {
+		return runBenchSuite(*jsonOut)
 	}
 	cfg := experiments.Config{Trials: *trials, Seed: *seed, WithReference: *ref, Parallel: *parallel}
 
@@ -85,5 +91,29 @@ func run(args []string) error {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	return nil
+}
+
+// runBenchSuite measures the hot-path micro-benchmarks (solver,
+// stage-two pass, delta-cost evaluation, replay — each with its naive
+// counterpart where one exists) and writes the benchstat-style JSON
+// regression record.
+func runBenchSuite(path string) error {
+	report, err := benchsuite.NewReport()
+	if err != nil {
+		return err
+	}
+	for _, r := range report.Benchmarks {
+		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op (%d runs)\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Runs)
+	}
+	buf, err := benchsuite.MarshalReport(report)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

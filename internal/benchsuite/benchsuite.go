@@ -1,0 +1,214 @@
+// Package benchsuite packages the repository's performance-critical
+// micro-benchmarks as a programmatically runnable suite, so that
+// cmd/sftbench -json can emit a machine-readable perf snapshot
+// (BENCH_core.json) and future changes have a trajectory to compare
+// against with benchstat or plain diffing.
+//
+// The suite mirrors the hot-path benchmarks of bench_test.go and
+// internal/core/bench_test.go: the end-to-end solvers on the standard
+// mid-size instance, the stage-two OPA pass, and the single-move
+// delta-cost evaluation — each in its incremental and naive variant
+// where both exist, so the file records the speedup itself.
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+	"sftree/internal/sim"
+)
+
+// Bench is one named, self-contained benchmark.
+type Bench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Result is the measured outcome of one benchmark.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the JSON document written to BENCH_core.json.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Generated  string   `json:"generated"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchInstance regenerates the standard mid-size benchmark instance
+// (100 nodes, 10 destinations, 5-VNF chain — the same shape the
+// in-package micro-benchmarks use) with the APSP warmed up.
+func benchInstance(nodes, dests, chain int) (*nfv.Network, nfv.Task, error) {
+	net, err := netgen.Generate(netgen.PaperConfig(nodes, 2), rand.New(rand.NewSource(11)))
+	if err != nil {
+		return nil, nfv.Task{}, err
+	}
+	task, err := netgen.GenerateTask(net, rand.New(rand.NewSource(12)), dests, chain)
+	if err != nil {
+		return nil, nfv.Task{}, err
+	}
+	net.Metric()
+	return net, task, nil
+}
+
+// solveBench wraps an end-to-end solve of the standard instance.
+func solveBench(opts core.Options) (Bench, error) {
+	net, task, err := benchInstance(100, 10, 5)
+	if err != nil {
+		return Bench{}, err
+	}
+	name := "SolveTwoStage100"
+	if opts.NaiveRecost {
+		name = "SolveTwoStage100Naive"
+	}
+	return Bench{Name: name, F: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(net, task, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}, nil
+}
+
+// runnerBench wraps a prepared core runner closure.
+func runnerBench(name string, mk func(*nfv.Network, nfv.Task, core.Options) (func() error, error), opts core.Options) (Bench, error) {
+	net, task, err := benchInstance(100, 10, 5)
+	if err != nil {
+		return Bench{}, err
+	}
+	run, err := mk(net, task, opts)
+	if err != nil {
+		return Bench{}, fmt.Errorf("benchsuite: %s: %w", name, err)
+	}
+	return Bench{Name: name, F: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}, nil
+}
+
+// replayBench wraps the flow-level simulator replay of a solved
+// embedding, the read-path hot loop of the serving stack.
+func replayBench() (Bench, error) {
+	net, task, err := benchInstance(100, 10, 5)
+	if err != nil {
+		return Bench{}, err
+	}
+	res, err := core.Solve(net, task, core.Options{})
+	if err != nil {
+		return Bench{}, err
+	}
+	return Bench{Name: "Replay100", F: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Replay(net, res.Embedding); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}, nil
+}
+
+// Suite assembles the full benchmark list.
+func Suite() ([]Bench, error) {
+	var out []Bench
+	for _, opts := range []core.Options{{}, {NaiveRecost: true}} {
+		b, err := solveBench(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	specs := []struct {
+		name string
+		mk   func(*nfv.Network, nfv.Task, core.Options) (func() error, error)
+		opts core.Options
+	}{
+		{"OPAPass", core.OPAPassRunner, core.Options{}},
+		{"OPAPassNaive", core.OPAPassRunner, core.Options{NaiveRecost: true}},
+		{"StateDeltaCost", core.DeltaCostRunner, core.Options{}},
+		{"StateDeltaCostNaive", core.DeltaCostRunner, core.Options{NaiveRecost: true}},
+	}
+	for _, s := range specs {
+		b, err := runnerBench(s.name, s.mk, s.opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	rb, err := replayBench()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rb)
+	return out, nil
+}
+
+// Run executes every benchmark in the suite (via testing.Benchmark,
+// which measures for its standard one second per benchmark) and
+// returns the results in name order.
+func Run() ([]Result, error) {
+	benches, err := Suite()
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.F)
+		out = append(out, Result{
+			Name:        bench.Name,
+			Runs:        r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// NewReport runs the suite and wraps the results with environment
+// metadata.
+func NewReport() (*Report, error) {
+	results, err := Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: results,
+	}, nil
+}
+
+// MarshalReport renders the report as indented JSON with a trailing
+// newline, the exact bytes BENCH_core.json carries.
+func MarshalReport(r *Report) ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

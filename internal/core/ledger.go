@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sftree/internal/graph"
+)
+
+// This file implements the incremental cost engine behind stage two.
+//
+// The naive evaluation path (state.cost) materializes a full
+// nfv.Embedding — every metric path for every destination and level —
+// and re-derives the placed-instance set per candidate move. The
+// ledger instead mirrors the two components of objective (1a)
+// incrementally:
+//
+//   - an instance ref-count per (vnf, node) pair, feeding a running
+//     setup-cost sum and a per-node used-capacity array (so canHost
+//     and instanceSetupCost are O(1));
+//   - a ref-count per (stage, directed edge) pair, feeding a running
+//     link-cost sum with exactly the multicast deduplication the cost
+//     oracle applies.
+//
+// A move touches only its group's segments, so applying it updates
+// O(|group| * path length) counters instead of recosting the world.
+// Every mutation is recorded in a journal; rejecting a move reverts
+// the journal, restoring the running sums bit-for-bit from snapshots.
+// The naive path is preserved (Options.NaiveRecost, state.cost) and
+// the two are asserted equivalent in equivalence_test.go.
+
+// instKey identifies a (vnf, node) instance slot in the ledger.
+type instKey struct{ vnf, node int }
+
+// stageEdge mirrors the cost oracle's deduplication key: an edge
+// carries one flow copy per chain stage regardless of fan-out. The
+// edge is directed, exactly as nfv.Network.Cost counts it.
+type stageEdge struct {
+	level int
+	u, v  int
+}
+
+// ledger is the incremental mirror of objective (1a) for one state.
+type ledger struct {
+	metric *graph.Metric
+	// edgeCost caches the cheapest parallel edge cost per canonical
+	// node pair; missing pairs are non-edges (priced +Inf by the cost
+	// oracle).
+	edgeCost map[[2]int]float64
+	// instRef counts (destination, level) subscriptions per new
+	// instance; pre-deployed instances are never entered.
+	instRef map[instKey]int
+	// edgeRef counts walk traversals per (stage, directed edge).
+	edgeRef map[stageEdge]int
+	// usedCap and freeBase cache per-node capacity state: freeBase is
+	// the network's free capacity (constant while solving), usedCap
+	// the demand consumed by current new instances.
+	usedCap  []float64
+	freeBase []float64
+	setupSum float64
+	linkSum  float64
+	// brokenSegs counts segments with no usable route (missing metric
+	// path or empty tail): the cost is undefined while any exist.
+	brokenSegs int
+	// infEdges counts referenced (stage, edge) pairs that are not
+	// graph edges; the oracle prices such walks at +Inf.
+	infEdges int
+}
+
+// journal records every ledger and state mutation of one move so it
+// can be reverted exactly. Sums are restored from snapshots, so a
+// revert is bit-for-bit, not arithmetically approximate.
+type journal struct {
+	serve    []journalServe
+	tails    []journalTail
+	edges    []journalEdge
+	insts    []journalInst
+	caps     []journalCap
+	setupSum float64
+	linkSum  float64
+	broken   int
+	infEdges int
+}
+
+type journalServe struct{ di, j, old int }
+
+type journalTail struct {
+	di  int
+	old []int
+}
+
+type journalEdge struct {
+	key stageEdge
+	old int
+}
+
+type journalInst struct {
+	key instKey
+	old int
+}
+
+type journalCap struct {
+	node int
+	old  float64
+}
+
+// ensureLedger builds the ledger from the current assignment if the
+// state does not carry one yet.
+func (s *state) ensureLedger() {
+	if s.led != nil {
+		return
+	}
+	metric := s.net.Metric()
+	led := &ledger{
+		metric:   metric,
+		edgeCost: make(map[[2]int]float64, s.net.Graph().NumEdges()),
+		instRef:  make(map[instKey]int),
+		edgeRef:  make(map[stageEdge]int),
+		usedCap:  make([]float64, s.net.NumNodes()),
+		freeBase: make([]float64, s.net.NumNodes()),
+	}
+	for _, e := range s.net.Graph().Edges() {
+		key := edgeKey(e.U, e.V)
+		if c, ok := led.edgeCost[key]; !ok || e.Cost < c {
+			led.edgeCost[key] = e.Cost
+		}
+	}
+	for _, v := range s.net.Servers() {
+		led.freeBase[v] = s.net.FreeCapacity(v)
+	}
+	s.led = led
+	k := s.task.K()
+	for di := range s.serve {
+		for j := 1; j <= k; j++ {
+			s.ledgerAddInstance(s.task.Chain[j-1], s.serve[di][j], nil)
+		}
+		for j := 0; j < k; j++ {
+			s.ledgerAddChainSeg(j, s.serve[di][j], s.serve[di][j+1], nil)
+		}
+		s.ledgerAddTail(di, nil)
+	}
+}
+
+// dropLedger discards the incremental state; the next ensureLedger
+// rebuilds it from scratch. Used after bulk rewrites (state cloning).
+func (s *state) dropLedger() { s.led = nil }
+
+// totalCost returns the ledger's view of objective (1a), mirroring
+// state.cost: an error when some segment has no route at all, +Inf
+// when a walk crosses a non-edge, the running sum otherwise.
+func (s *state) totalCost() (float64, error) {
+	s.ensureLedger()
+	if s.led.brokenSegs > 0 {
+		return 0, fmt.Errorf("%w: %d unroutable segments", ErrNoFeasible, s.led.brokenSegs)
+	}
+	if s.led.infEdges > 0 {
+		return math.Inf(1), nil
+	}
+	return s.led.setupSum + s.led.linkSum, nil
+}
+
+// snapshot starts a journal for one move.
+func (s *state) snapshot() *journal {
+	led := s.led
+	return &journal{
+		setupSum: led.setupSum,
+		linkSum:  led.linkSum,
+		broken:   led.brokenSegs,
+		infEdges: led.infEdges,
+	}
+}
+
+// revert undoes every mutation recorded in jr, newest first, and
+// restores the running sums from the snapshots.
+func (s *state) revert(jr *journal) {
+	led := s.led
+	for i := len(jr.edges) - 1; i >= 0; i-- {
+		setRef(led.edgeRef, jr.edges[i].key, jr.edges[i].old)
+	}
+	for i := len(jr.insts) - 1; i >= 0; i-- {
+		setRef(led.instRef, jr.insts[i].key, jr.insts[i].old)
+	}
+	for i := len(jr.caps) - 1; i >= 0; i-- {
+		led.usedCap[jr.caps[i].node] = jr.caps[i].old
+	}
+	for i := len(jr.serve) - 1; i >= 0; i-- {
+		e := jr.serve[i]
+		s.serve[e.di][e.j] = e.old
+	}
+	for i := len(jr.tails) - 1; i >= 0; i-- {
+		s.tail[jr.tails[i].di] = jr.tails[i].old
+	}
+	led.setupSum = jr.setupSum
+	led.linkSum = jr.linkSum
+	led.brokenSegs = jr.broken
+	led.infEdges = jr.infEdges
+}
+
+// setRef writes a refcount back, deleting zero entries so the maps
+// track only live keys.
+func setRef[K comparable](m map[K]int, k K, v int) {
+	if v == 0 {
+		delete(m, k)
+	} else {
+		m[k] = v
+	}
+}
+
+// ledgerAddInstance subscribes one (destination, level) to the
+// instance of f at node; the 0->1 transition prices its setup cost
+// and reserves capacity. Pre-deployed instances cost nothing and are
+// not tracked.
+func (s *state) ledgerAddInstance(f, node int, jr *journal) {
+	if s.net.IsDeployed(f, node) {
+		return
+	}
+	led := s.led
+	key := instKey{f, node}
+	old := led.instRef[key]
+	if jr != nil {
+		jr.insts = append(jr.insts, journalInst{key, old})
+	}
+	led.instRef[key] = old + 1
+	if old == 0 {
+		led.setupSum += s.net.SetupCost(f, node)
+		if vnf, err := s.net.VNF(f); err == nil {
+			if jr != nil {
+				jr.caps = append(jr.caps, journalCap{node, led.usedCap[node]})
+			}
+			led.usedCap[node] += vnf.Demand
+		}
+	}
+}
+
+// ledgerRemoveInstance drops one subscription; the 1->0 transition
+// releases the setup cost and the reserved capacity.
+func (s *state) ledgerRemoveInstance(f, node int, jr *journal) {
+	if s.net.IsDeployed(f, node) {
+		return
+	}
+	led := s.led
+	key := instKey{f, node}
+	old := led.instRef[key]
+	if jr != nil {
+		jr.insts = append(jr.insts, journalInst{key, old})
+	}
+	setRef(led.instRef, key, old-1)
+	if old == 1 {
+		led.setupSum -= s.net.SetupCost(f, node)
+		if vnf, err := s.net.VNF(f); err == nil {
+			if jr != nil {
+				jr.caps = append(jr.caps, journalCap{node, led.usedCap[node]})
+			}
+			led.usedCap[node] -= vnf.Demand
+		}
+	}
+}
+
+// ledgerAddEdge references one (stage, directed edge) traversal; the
+// 0->1 transition adds its link cost (or marks an infinite walk).
+func (s *state) ledgerAddEdge(level, u, v int, jr *journal) {
+	led := s.led
+	key := stageEdge{level: level, u: u, v: v}
+	old := led.edgeRef[key]
+	if jr != nil {
+		jr.edges = append(jr.edges, journalEdge{key, old})
+	}
+	led.edgeRef[key] = old + 1
+	if old == 0 {
+		if c, ok := led.edgeCost[edgeKey(u, v)]; ok {
+			led.linkSum += c
+		} else {
+			led.infEdges++
+		}
+	}
+}
+
+// ledgerRemoveEdge drops one traversal; the 1->0 transition releases
+// its link cost.
+func (s *state) ledgerRemoveEdge(level, u, v int, jr *journal) {
+	led := s.led
+	key := stageEdge{level: level, u: u, v: v}
+	old := led.edgeRef[key]
+	if jr != nil {
+		jr.edges = append(jr.edges, journalEdge{key, old})
+	}
+	setRef(led.edgeRef, key, old-1)
+	if old == 1 {
+		if c, ok := led.edgeCost[edgeKey(u, v)]; ok {
+			led.linkSum -= c
+		} else {
+			led.infEdges--
+		}
+	}
+}
+
+// ledgerAddChainSeg references the metric shortest path from -> to at
+// the given level; an unreachable pair marks the segment broken.
+func (s *state) ledgerAddChainSeg(level, from, to int, jr *journal) {
+	ok := s.led.metric.EachHop(from, to, func(x, y int) {
+		s.ledgerAddEdge(level, x, y, jr)
+	})
+	if !ok {
+		s.led.brokenSegs++
+	}
+}
+
+// ledgerRemoveChainSeg releases the segment added by
+// ledgerAddChainSeg for the same endpoints.
+func (s *state) ledgerRemoveChainSeg(level, from, to int, jr *journal) {
+	ok := s.led.metric.EachHop(from, to, func(x, y int) {
+		s.ledgerRemoveEdge(level, x, y, jr)
+	})
+	if !ok {
+		s.led.brokenSegs--
+	}
+}
+
+// ledgerAddTail references destination di's current explicit tail at
+// level k; an empty tail marks the segment broken.
+func (s *state) ledgerAddTail(di int, jr *journal) {
+	tail := s.tail[di]
+	if len(tail) == 0 {
+		s.led.brokenSegs++
+		return
+	}
+	k := s.task.K()
+	for i := 1; i < len(tail); i++ {
+		s.ledgerAddEdge(k, tail[i-1], tail[i], jr)
+	}
+}
+
+// ledgerRemoveTail releases destination di's current tail.
+func (s *state) ledgerRemoveTail(di int, jr *journal) {
+	tail := s.tail[di]
+	if len(tail) == 0 {
+		s.led.brokenSegs--
+		return
+	}
+	k := s.task.K()
+	for i := 1; i < len(tail); i++ {
+		s.ledgerRemoveEdge(k, tail[i-1], tail[i], jr)
+	}
+}
+
+// applyMoveInc performs applyMove against the live ledger and returns
+// the journal that undoes it. Semantics match applyMove followed by a
+// full recost: only the group's own segments change.
+func (s *state) applyMoveInc(j int, grp connGroup, e int, metric *graph.Metric) *journal {
+	s.ensureLedger()
+	jr := s.snapshot()
+	k := s.task.K()
+	f := s.task.Chain[j-1]
+	for _, di := range grp.members {
+		old := s.serve[di][j]
+		s.ledgerRemoveInstance(f, old, jr)
+		s.ledgerRemoveChainSeg(j-1, s.serve[di][j-1], old, jr)
+		if j < k {
+			s.ledgerRemoveChainSeg(j, old, s.serve[di][j+1], jr)
+		} else {
+			s.ledgerRemoveTail(di, jr)
+		}
+		jr.serve = append(jr.serve, journalServe{di, j, old})
+		s.serve[di][j] = e
+		s.ledgerAddInstance(f, e, jr)
+		s.ledgerAddChainSeg(j-1, s.serve[di][j-1], e, jr)
+		if j < k {
+			s.ledgerAddChainSeg(j, e, s.serve[di][j+1], jr)
+		}
+	}
+	if j != k {
+		return jr
+	}
+	// Last level: rewrite the explicit tails exactly as applyMove does
+	// (new route e -> connection node -> old downstream suffix).
+	head := metric.Path(e, grp.node)
+	for _, di := range grp.members {
+		old := s.tail[di]
+		jr.tails = append(jr.tails, journalTail{di, old})
+		idx := -1
+		for i, v := range old {
+			if v == grp.node {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			s.tail[di] = metric.Path(e, s.task.Destinations[di])
+		} else {
+			nt := make([]int, 0, len(head)+len(old)-idx-1)
+			nt = append(nt, head...)
+			nt = append(nt, old[idx+1:]...)
+			s.tail[di] = nt
+		}
+		s.ledgerAddTail(di, jr)
+	}
+	return jr
+}

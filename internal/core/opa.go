@@ -12,9 +12,13 @@ const costEps = 1e-9
 // runOPA repeats runOPAPass up to Options.MaxOPAPasses times, stopping
 // early once a pass accepts nothing.
 func runOPA(s *state, opts Options) (int, error) {
+	pass := runOPAPass
+	if opts.NaiveRecost {
+		pass = runOPAPassNaive
+	}
 	total := 0
-	for pass := 0; pass < opts.opaPasses(); pass++ {
-		moves, err := runOPAPass(s, opts)
+	for i := 0; i < opts.opaPasses(); i++ {
+		moves, err := pass(s, opts)
 		total += moves
 		if err != nil || moves == 0 {
 			return total, err
@@ -30,10 +34,16 @@ func runOPA(s *state, opts Options) (int, error) {
 // are accepted only if the recomputed global cost strictly drops
 // (unless Options.LocalAcceptance asks for the paper's raw rule).
 // It returns the number of accepted moves.
+//
+// Cost evaluation is incremental: the state's ledger (see ledger.go)
+// tracks the objective under each trial move, and a rejected move is
+// reverted through its journal. runOPAPassNaive preserves the
+// clone-and-recost evaluation with identical semantics.
 func runOPAPass(s *state, opts Options) (int, error) {
 	k := s.task.K()
 	metric := s.net.Metric()
-	curCost, err := s.cost()
+	s.ensureLedger()
+	curCost, err := s.totalCost()
 	if err != nil {
 		return 0, err
 	}
@@ -95,15 +105,102 @@ func runOPAPass(s *state, opts Options) (int, error) {
 				continue
 			}
 
+			jr := s.applyMoveInc(j, grp, bestE, metric)
+			if opts.LocalAcceptance {
+				moves++
+				nextConn = append(nextConn, bestE)
+				c, err := s.totalCost()
+				if err != nil {
+					return moves, err
+				}
+				curCost = c
+				continue
+			}
+			trialCost, err := s.totalCost()
+			if err != nil || trialCost >= curCost-costEps {
+				s.revert(jr)
+				continue
+			}
+			curCost = trialCost
+			moves++
+			nextConn = append(nextConn, bestE)
+		}
+		if len(nextConn) == 0 {
+			break // Theorem 4: earlier levels cannot branch either
+		}
+		groups = s.groupsAt(j, nextConn)
+	}
+	return moves, nil
+}
+
+// runOPAPassNaive is the clone-and-recost evaluation of Algorithm 3:
+// every candidate move is applied to a cloned state and priced by a
+// full embedding reconstruction. Kept behind Options.NaiveRecost as
+// the reference implementation the incremental engine is asserted
+// against (see equivalence_test.go).
+func runOPAPassNaive(s *state, opts Options) (int, error) {
+	k := s.task.K()
+	metric := s.net.Metric()
+	curCost, err := s.cost()
+	if err != nil {
+		return 0, err
+	}
+
+	aggressive := opts.AggressiveOPA && !opts.LocalAcceptance
+	groups := s.initialConnectionGroups(aggressive)
+	moves := 0
+
+	for j := k; j >= 1; j-- {
+		f := s.task.Chain[j-1]
+		if _, err := s.net.VNF(f); err != nil {
+			return moves, err
+		}
+		var nextConn []int // nodes hosting the instances added at level j
+		for _, grp := range groups {
+			if len(grp.members) == 0 {
+				continue
+			}
+			cur := s.serve[grp.members[0]][j]
+			pred := s.serve[grp.members[0]][j-1]
+			curScore := metric.Dist[grp.node][cur]
+			if grp.node == cur {
+				continue // already colocated; nothing to gain
+			}
+
+			bestE, bestScore := -1, graph.Inf
+			for _, u := range s.net.Servers() {
+				if u == cur {
+					continue
+				}
+				if metric.Dist[grp.node][u] == graph.Inf || metric.Dist[u][pred] == graph.Inf {
+					continue
+				}
+				if !s.canHost(f, u) {
+					continue
+				}
+				score := metric.Dist[grp.node][u] + metric.Dist[u][pred] + s.instanceSetupCost(f, u)
+				if score < bestScore {
+					bestE, bestScore = u, score
+				}
+			}
+			if bestE == -1 {
+				continue
+			}
+			if !aggressive && bestScore >= curScore-costEps {
+				continue
+			}
+
 			trial := s.clone()
 			trial.applyMove(j, grp, bestE, metric)
 			if opts.LocalAcceptance {
 				*s = *trial
 				moves++
 				nextConn = append(nextConn, bestE)
-				if c, err := s.cost(); err == nil {
-					curCost = c
+				c, err := s.cost()
+				if err != nil {
+					return moves, err
 				}
+				curCost = c
 				continue
 			}
 			trialCost, err := trial.cost()
@@ -147,10 +244,9 @@ func (s *state) initialConnectionGroups(aggressive bool) []connGroup {
 	sfcEdges := make(map[[2]int]bool)
 	for di := range s.serve {
 		for j := 0; j < k; j++ {
-			p := metric.Path(s.serve[di][j], s.serve[di][j+1])
-			for i := 1; i < len(p); i++ {
-				sfcEdges[edgeKey(p[i-1], p[i])] = true
-			}
+			metric.EachHop(s.serve[di][j], s.serve[di][j+1], func(x, y int) {
+				sfcEdges[edgeKey(x, y)] = true
+			})
 		}
 	}
 
@@ -239,6 +335,12 @@ func (s *state) groupsAt(j int, conn []int) []connGroup {
 func (s *state) instanceSetupCost(f, u int) float64 {
 	if s.net.IsDeployed(f, u) {
 		return 0
+	}
+	if led := s.led; led != nil {
+		if led.instRef[instKey{f, u}] > 0 {
+			return 0
+		}
+		return s.net.SetupCost(f, u)
 	}
 	for _, inst := range s.placedInstances() {
 		if inst.VNF == f && inst.Node == u {

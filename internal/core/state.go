@@ -36,6 +36,10 @@ type state struct {
 	// tail[di] is the node path from serve[di][k] to the destination,
 	// inclusive of both endpoints.
 	tail [][]int
+	// led is the incremental cost engine (see ledger.go), attached
+	// lazily by stage two. It always reflects serve/tail exactly; any
+	// mutation outside applyMoveInc must drop or rebuild it.
+	led *ledger
 }
 
 func newState(net *nfv.Network, task nfv.Task) *state {
@@ -54,6 +58,7 @@ func newState(net *nfv.Network, task nfv.Task) *state {
 }
 
 func (s *state) clone() *state {
+	// The ledger is not copied: a clone rebuilds it on first use.
 	c := &state{net: s.net, task: s.task,
 		serve: make([][]int, len(s.serve)),
 		tail:  make([][]int, len(s.tail)),
@@ -104,13 +109,25 @@ func (s *state) usedCapacity() map[int]float64 {
 
 // canHost reports whether chain VNF f can serve traffic from node v in
 // the current state: it is pre-deployed, already placed new, or there
-// is room to place it.
+// is room to place it. With a ledger attached the answer comes from
+// the ref-count and capacity accumulators in O(1); the naive fallback
+// re-derives both from the serving assignment.
 func (s *state) canHost(f, v int) bool {
 	if !s.net.IsServer(v) {
 		return false
 	}
 	if s.net.IsDeployed(f, v) {
 		return true
+	}
+	if led := s.led; led != nil {
+		if led.instRef[instKey{f, v}] > 0 {
+			return true
+		}
+		vnf, err := s.net.VNF(f)
+		if err != nil {
+			return false
+		}
+		return led.freeBase[v]-led.usedCap[v]+1e-9 >= vnf.Demand
 	}
 	for _, inst := range s.placedInstances() {
 		if inst.VNF == f && inst.Node == v {

@@ -56,6 +56,15 @@ func BenchmarkAllDijkstra250(b *testing.B) {
 	}
 }
 
+func BenchmarkAllDijkstraParallel250(b *testing.B) {
+	g := benchGraph(250, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllDijkstraParallel()
+	}
+}
+
 func BenchmarkMSTKruskal250(b *testing.B) {
 	g := benchGraph(250, 1000)
 	b.ReportAllocs()

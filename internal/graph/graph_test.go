@@ -161,6 +161,116 @@ func TestAllDijkstraMatchesFloydWarshall(t *testing.T) {
 	}
 }
 
+// TestAllDijkstraParallelByteIdentical pins the contract that the
+// worker-pool APSP is indistinguishable from the serial one — same
+// distances AND same tie-breaks (next hops) — including on graphs with
+// unreachable components, parallel edges, and zero-cost ties.
+func TestAllDijkstraParallelByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(60)
+		g := New(n)
+		// Spanning tree over a prefix only, so some nodes stay
+		// unreachable; sprinkle parallel and zero-cost edges.
+		reach := 1 + rng.Intn(n)
+		for v := 1; v < reach; v++ {
+			g.MustAddEdge(rng.Intn(v), v, float64(rng.Intn(6)))
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v, float64(rng.Intn(6)))
+			}
+		}
+		serial := g.AllDijkstra()
+		par := g.AllDijkstraParallel()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if serial.Dist[u][v] != par.Dist[u][v] {
+					t.Fatalf("trial %d: dist(%d,%d): serial %v vs parallel %v",
+						trial, u, v, serial.Dist[u][v], par.Dist[u][v])
+				}
+				if serial.next[u][v] != par.next[u][v] {
+					t.Fatalf("trial %d: next(%d,%d): serial %v vs parallel %v",
+						trial, u, v, serial.next[u][v], par.next[u][v])
+				}
+			}
+		}
+	}
+}
+
+// TestAPSPAutoMatchesFloydWarshall checks the auto-selected routine
+// returns correct distances and valid paths on both sides of the
+// density and size cutoffs.
+func TestAPSPAutoMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, tc := range []struct{ n, extra int }{
+		{10, 20},                            // small: FW branch
+		{apspSmallCutoff + 16, 100},         // large sparse: parallel Dijkstra branch
+		{apspSmallCutoff + 16, 80 * 80 / 2}, // large dense: FW branch
+	} {
+		g := New(tc.n)
+		for v := 1; v < tc.n; v++ {
+			g.MustAddEdge(rng.Intn(v), v, 1+rng.Float64()*9)
+		}
+		for i := 0; i < tc.extra; i++ {
+			u, v := rng.Intn(tc.n), rng.Intn(tc.n)
+			if u != v {
+				g.MustAddEdge(u, v, 1+rng.Float64()*9)
+			}
+		}
+		fw := g.FloydWarshall()
+		auto := g.APSPAuto()
+		for u := 0; u < tc.n; u++ {
+			for v := 0; v < tc.n; v++ {
+				if math.Abs(fw.Dist[u][v]-auto.Dist[u][v]) > 1e-9 {
+					t.Fatalf("n=%d extra=%d: dist(%d,%d): FW %v vs auto %v",
+						tc.n, tc.extra, u, v, fw.Dist[u][v], auto.Dist[u][v])
+				}
+				// The auto path must exist and cost its own distance.
+				p := auto.Path(u, v)
+				if p == nil {
+					continue
+				}
+				if got := g.PathCost(p); math.Abs(got-auto.Dist[u][v]) > 1e-9 {
+					t.Fatalf("n=%d extra=%d: path(%d,%d) costs %v, dist %v",
+						tc.n, tc.extra, u, v, got, auto.Dist[u][v])
+				}
+			}
+		}
+	}
+}
+
+// TestEachHopMatchesPath checks the alloc-free hop iterator visits
+// exactly the hops of the materialized path.
+func TestEachHopMatchesPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 30
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, 1+rng.Float64()*9)
+	}
+	m := g.FloydWarshall()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			var hops [][2]int
+			ok := m.EachHop(u, v, func(x, y int) { hops = append(hops, [2]int{x, y}) })
+			p := m.Path(u, v)
+			if ok != (p != nil) {
+				t.Fatalf("EachHop(%d,%d) ok=%v but Path=%v", u, v, ok, p)
+			}
+			if len(hops) != len(p)-1 && !(p == nil && len(hops) == 0) {
+				t.Fatalf("EachHop(%d,%d) visited %d hops for path %v", u, v, len(hops), p)
+			}
+			for i, h := range hops {
+				if h[0] != p[i] || h[1] != p[i+1] {
+					t.Fatalf("EachHop(%d,%d) hop %d = %v, path %v", u, v, i, h, p)
+				}
+			}
+		}
+	}
+}
+
 func TestMetricPathReconstruction(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	n := 20

@@ -1,5 +1,11 @@
 package graph
 
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
 // ShortestPathTree is the result of a single-source shortest-path
 // computation: per-node distance from the source and the parent node on
 // one shortest path (-1 for the source itself and unreachable nodes).
@@ -111,27 +117,109 @@ func (g *Graph) AllDijkstra() *Metric {
 	n := len(g.adj)
 	dist := make([][]float64, n)
 	next := make([][]int32, n)
+	var scratch []int
 	for s := 0; s < n; s++ {
-		t := g.Dijkstra(s)
-		dist[s] = t.Dist
-		next[s] = make([]int32, n)
-		for v := 0; v < n; v++ {
-			next[s][v] = -1
-		}
-		next[s][s] = int32(s)
-		// First hop towards v is found by walking parents back from v.
-		for v := 0; v < n; v++ {
-			if v == s || t.Dist[v] == Inf {
-				continue
-			}
-			x := v
-			for t.Parent[x] != s {
-				x = t.Parent[x]
-			}
-			next[s][v] = int32(x)
-		}
+		dist[s], next[s], scratch = g.apspRow(s, scratch)
 	}
 	return &Metric{Dist: dist, next: next}
+}
+
+// apspRow computes one row of the all-pairs metric: distances from s
+// plus the first hop towards every reachable node. First hops are
+// filled in a single amortized-O(V) pass: a node inherits the first
+// hop of its Dijkstra parent, so each parent chain is resolved once
+// and memoized. scratch is reusable chain storage (may be nil); the
+// possibly-grown slice is returned for the next call.
+func (g *Graph) apspRow(s int, scratch []int) ([]float64, []int32, []int) {
+	n := len(g.adj)
+	t := g.Dijkstra(s)
+	nx := make([]int32, n)
+	for v := range nx {
+		nx[v] = -1
+	}
+	nx[s] = int32(s)
+	for v := 0; v < n; v++ {
+		if v == s || t.Dist[v] == Inf || nx[v] != -1 {
+			continue
+		}
+		// Walk up the parent chain until a node with a known first hop
+		// (or a direct child of s), then fill the chain with that hop.
+		chain := scratch[:0]
+		x := v
+		for nx[x] == -1 {
+			if t.Parent[x] == s {
+				nx[x] = int32(x)
+				break
+			}
+			chain = append(chain, x)
+			x = t.Parent[x]
+		}
+		hop := nx[x]
+		for _, y := range chain {
+			nx[y] = hop
+		}
+		scratch = chain
+	}
+	return t.Dist, nx, scratch
+}
+
+// AllDijkstraParallel computes the same Metric as AllDijkstra with one
+// worker goroutine per available CPU, each pulling source rows from a
+// shared counter. Every row is a pure function of its source, so the
+// result is byte-identical to the serial AllDijkstra regardless of
+// scheduling.
+func (g *Graph) AllDijkstraParallel() *Metric {
+	n := len(g.adj)
+	dist := make([][]float64, n)
+	next := make([][]int32, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var scratch []int
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				dist[s], next[s], scratch = g.apspRow(s, scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	return &Metric{Dist: dist, next: next}
+}
+
+// apspDenseCutoff is the density divisor above which APSPAuto prefers
+// Floyd-Warshall: with m >= n^2/8 (average degree >= n/4) the n
+// heap-based Dijkstra runs lose to the cache-friendly O(V^3) sweep.
+const apspDenseCutoff = 8
+
+// apspSmallCutoff is the node count below which APSPAuto always uses
+// Floyd-Warshall: goroutine fan-out overhead dominates on tiny
+// instances, and FW tie-breaking is the historical behaviour that
+// small hand-built fixtures pin.
+const apspSmallCutoff = 64
+
+// APSPAuto computes all-pairs shortest paths with the routine that
+// fits the topology: Floyd-Warshall for small or dense graphs,
+// parallel Dijkstra for large sparse ones. Distances are identical
+// either way; equal-cost ties may be broken differently.
+func (g *Graph) APSPAuto() *Metric {
+	n := len(g.adj)
+	if n < apspSmallCutoff || len(g.edges)*apspDenseCutoff >= n*n {
+		return g.FloydWarshall()
+	}
+	return g.AllDijkstraParallel()
 }
 
 // Path returns one shortest path from u to v as a node sequence
@@ -147,6 +235,21 @@ func (m *Metric) Path(u, v int) []int {
 		path = append(path, u)
 	}
 	return path
+}
+
+// EachHop visits every consecutive hop on one shortest u->v path in
+// order, without materializing the path. It reports whether v is
+// reachable from u; Path(u, u) has no hops and reports true.
+func (m *Metric) EachHop(u, v int, fn func(from, to int)) bool {
+	if m.Dist[u][v] == Inf {
+		return false
+	}
+	for u != v {
+		w := int(m.next[u][v])
+		fn(u, w)
+		u = w
+	}
+	return true
 }
 
 // BFSHops returns the minimum number of hops (unweighted) from src to

@@ -239,9 +239,12 @@ func (net *Network) FreeCapacity(v int) float64 {
 
 // Metric returns the cached all-pairs shortest-path metric, computing
 // it on first use. The topology must not change after the first call.
+// The APSP routine is auto-selected by size and edge density
+// (Floyd-Warshall for small or dense networks, parallel Dijkstra for
+// large sparse ones); see graph.APSPAuto.
 func (net *Network) Metric() *graph.Metric {
 	if net.metric == nil {
-		net.metric = net.g.FloydWarshall()
+		net.metric = net.g.APSPAuto()
 	}
 	return net.metric
 }

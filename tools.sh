@@ -1,0 +1,34 @@
+#!/bin/sh
+# tools.sh — repository hygiene gate.
+#
+# Runs the static checks and the race-enabled test suite. CI and
+# pre-commit should both call this; it exits non-zero on the first
+# failure.
+#
+#   ./tools.sh          # vet + gofmt + race tests
+#   ./tools.sh quick    # vet + gofmt only (skip the race run)
+
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt -l ."
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+if [ "${1:-}" = "quick" ]; then
+	echo "OK (quick)"
+	exit 0
+fi
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
