@@ -107,6 +107,11 @@ func runBenchSuite(path string) error {
 		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op (%d runs)\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Runs)
 	}
+	if p := report.SolverPhases; p != nil {
+		fmt.Printf("solver phases: apsp %.2fms  stage1 %.2fms  stage2 %.2fms  (%d passes, moves %d proposed / %d accepted / %d rejected)\n",
+			float64(p.APSPBuildNs)/1e6, float64(p.Stage1Ns)/1e6, float64(p.Stage2Ns)/1e6,
+			p.OPAPasses, p.MovesProposed, p.MovesAccepted, p.MovesRejected)
+	}
 	buf, err := benchsuite.MarshalReport(report)
 	if err != nil {
 		return err

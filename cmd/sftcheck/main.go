@@ -1,0 +1,58 @@
+// Command sftcheck is a minimal HTTP probe for smoke tests: it GETs
+// one URL and exits 0 iff the response status is 2xx. tools.sh uses it
+// against a freshly booted sftserve so the hygiene gate needs nothing
+// beyond the Go toolchain (no curl/wget).
+//
+// Usage:
+//
+//	sftcheck -url http://127.0.0.1:8080/healthz
+//	sftcheck -url http://127.0.0.1:8080/metrics -print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sftcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sftcheck", flag.ContinueOnError)
+	var (
+		url     = fs.String("url", "", "URL to probe (required)")
+		timeout = fs.Duration("timeout", 5*time.Second, "request timeout")
+		print   = fs.Bool("print", false, "write the response body to stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(*url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("GET %s: status %d: %.200s", *url, resp.StatusCode, body)
+	}
+	if *print {
+		_, err = out.Write(body)
+	}
+	return err
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRunProbesStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			w.Write([]byte("healthy"))
+		default:
+			http.Error(w, "down", http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL + "/ok", "-print"}, &out); err != nil {
+		t.Fatalf("2xx probe failed: %v", err)
+	}
+	if out.String() != "healthy" {
+		t.Errorf("-print wrote %q", out.String())
+	}
+
+	if err := run([]string{"-url", ts.URL + "/down"}, &out); err == nil {
+		t.Error("non-2xx probe did not fail")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -url did not fail")
+	}
+}

@@ -3,34 +3,57 @@
 // API backed by the dynamic session manager — the shape in which an
 // SDN controller would consume this library.
 //
+// Observability is built in: every request gets an X-Request-ID and a
+// structured access log line, GET /metrics serves the JSON metrics
+// snapshot (per-route latency histograms, solver phase timings,
+// session lifecycle counters), GET /readyz the readiness probe, and
+// -debug additionally mounts net/http/pprof under /debug/pprof/ and
+// the expvar dump under /debug/vars. SIGINT/SIGTERM trigger a graceful
+// http.Server.Shutdown so in-flight solves finish, then the final
+// metrics snapshot is flushed to the log.
+//
 // Usage:
 //
 //	sftserve -listen :8080 -network inst.json    # sessions on a file-loaded network
 //	sftserve -listen :8080 -nodes 50             # sessions on a generated network
 //	sftserve -listen :8080 -stateless            # stateless endpoints only
+//	sftserve -listen :8080 -debug                # + pprof and expvar endpoints
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sftree"
 	"sftree/internal/core"
+	"sftree/internal/obs"
 	"sftree/internal/server"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		log.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		slog.Error("sftserve failed", "err", err)
+		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// onReady, when set (tests), receives the bound listen address.
+var onReady func(addr string)
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sftserve", flag.ContinueOnError)
 	var (
 		listen    = fs.String("listen", ":8080", "listen address")
@@ -38,12 +61,14 @@ func run(args []string) error {
 		nodes     = fs.Int("nodes", 50, "generate a network of this size when -network is empty")
 		seed      = fs.Int64("seed", 1, "seed for the generated network")
 		stateless = fs.Bool("stateless", false, "serve only the stateless endpoints")
+		debug     = fs.Bool("debug", false, "mount /debug/pprof/ and /debug/vars")
+		drain     = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var net *sftree.Network
+	var network *sftree.Network
 	switch {
 	case *stateless:
 		// nil network: session endpoints answer 501.
@@ -56,20 +81,68 @@ func run(args []string) error {
 		if err := json.Unmarshal(blob, &doc); err != nil {
 			return fmt.Errorf("parse %s: %w", *netFile, err)
 		}
-		net = doc.Network
+		network = doc.Network
 	default:
 		var err error
-		net, err = sftree.GenerateNetwork(sftree.DefaultGenConfig(*nodes, 2), *seed)
+		network, err = sftree.GenerateNetwork(sftree.DefaultGenConfig(*nodes, 2), *seed)
 		if err != nil {
 			return err
 		}
 	}
 
-	srv := &http.Server{
-		Addr:              *listen,
-		Handler:           server.New(net, core.Options{}),
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg := obs.NewRegistry()
+	reg.PublishExpvar("sftree")
+	srv := server.NewWith(network, core.Options{}, server.Config{Registry: reg, Logger: logger})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	if *debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("sftserve listening on %s (session API: %v)", *listen, net != nil)
-	return srv.ListenAndServe()
+	logger.Info("sftserve listening",
+		"addr", ln.Addr().String(), "sessions", network != nil, "debug", *debug)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight solves finish.
+	logger.Info("shutting down", "drain", drain.String())
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := hs.Shutdown(sctx)
+	<-errCh // Serve has returned http.ErrServerClosed
+
+	// Final metrics flush, so a terminated process leaves its counters
+	// in the log.
+	if blob, err := json.Marshal(reg.Snapshot()); err == nil {
+		logger.Info("final metrics", "metrics", string(blob))
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
+	}
+	logger.Info("sftserve stopped")
+	return nil
 }

@@ -1,19 +1,24 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunRejectsMissingNetworkFile(t *testing.T) {
-	if err := run([]string{"-network", "/does/not/exist.json", "-listen", "127.0.0.1:0"}); err == nil {
+	if err := run(context.Background(), []string{"-network", "/does/not/exist.json", "-listen", "127.0.0.1:0"}); err == nil {
 		t.Error("missing network file accepted")
 	}
 }
@@ -23,15 +28,81 @@ func TestRunRejectsGarbageNetworkFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-network", path, "-listen", "127.0.0.1:0"}); err == nil {
+	if err := run(context.Background(), []string{"-network", path, "-listen", "127.0.0.1:0"}); err == nil {
 		t.Error("garbage network file accepted")
 	}
 }
 
 func TestRunRejectsBadListenAddress(t *testing.T) {
-	// An invalid address makes ListenAndServe fail immediately, which
+	// An invalid address makes net.Listen fail immediately, which
 	// exercises the full startup path (network generation included).
-	if err := run([]string{"-listen", "not-an-address", "-nodes", "10"}); err == nil {
+	if err := run(context.Background(), []string{"-listen", "not-an-address", "-nodes", "10"}); err == nil {
 		t.Error("bad listen address accepted")
+	}
+}
+
+// get asserts a 200 GET and returns the body.
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d (%.120s)", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestDebugEndpointsAndGracefulShutdown boots the real binary path
+// with -debug, probes the observability surface, and then cancels the
+// context to exercise the graceful http.Server.Shutdown.
+func TestDebugEndpointsAndGracefulShutdown(t *testing.T) {
+	addrCh := make(chan string, 1)
+	onReady = func(a string) { addrCh <- a }
+	defer func() { onReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-nodes", "12", "-debug"})
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	get(t, base+"/healthz")
+	get(t, base+"/readyz")
+	get(t, base+"/debug/vars")
+	get(t, base+"/debug/pprof/")
+
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(get(t, base+"/metrics"), &snap); err != nil {
+		t.Fatalf("metrics is not JSON: %v", err)
+	}
+	if snap.Counters["http_requests_total"] == 0 {
+		t.Errorf("http_requests_total not incremented: %+v", snap.Counters)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not complete")
 	}
 }

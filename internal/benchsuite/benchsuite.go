@@ -23,6 +23,7 @@ import (
 	"sftree/internal/core"
 	"sftree/internal/netgen"
 	"sftree/internal/nfv"
+	"sftree/internal/obs"
 	"sftree/internal/sim"
 )
 
@@ -49,6 +50,11 @@ type Report struct {
 	NumCPU     int      `json:"num_cpu"`
 	Generated  string   `json:"generated"`
 	Benchmarks []Result `json:"benchmarks"`
+	// SolverPhases is the phase-timing breakdown of one observed
+	// end-to-end solve on the standard instance (cold APSP), so perf
+	// regressions in the benchmarks above can be attributed to a
+	// phase without re-profiling.
+	SolverPhases *obs.Breakdown `json:"solver_phases,omitempty"`
 }
 
 // benchInstance regenerates the standard mid-size benchmark instance
@@ -128,6 +134,35 @@ func replayBench() (Bench, error) {
 	}}, nil
 }
 
+// SolverPhases runs one instrumented end-to-end solve of the standard
+// instance with a cold APSP cache and returns the observed phase
+// breakdown: metric-closure build time, stage-1 and stage-2 wall time,
+// and the stage-two move funnel.
+func SolverPhases() (*obs.Breakdown, error) {
+	net, task, err := benchInstance(100, 10, 5)
+	if err != nil {
+		return nil, err
+	}
+	// Round-trip the instance through its JSON document: the decoded
+	// network carries no cached metric closure (the generator builds
+	// one internally), so the solve below pays — and the breakdown
+	// attributes — the real APSP construction.
+	blob, err := json.Marshal(nfv.InstanceDoc{Network: net, Task: task})
+	if err != nil {
+		return nil, err
+	}
+	var doc nfv.InstanceDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, err
+	}
+	rec := &obs.SpanRecorder{}
+	if _, err := core.Solve(doc.Network, doc.Task, core.Options{Observer: rec}); err != nil {
+		return nil, fmt.Errorf("benchsuite: phase solve: %w", err)
+	}
+	b := rec.Breakdown()
+	return &b, nil
+}
+
 // Suite assembles the full benchmark list.
 func Suite() ([]Bench, error) {
 	var out []Bench
@@ -186,20 +221,25 @@ func Run() ([]Result, error) {
 	return out, nil
 }
 
-// NewReport runs the suite and wraps the results with environment
-// metadata.
+// NewReport runs the suite plus one instrumented solve and wraps the
+// results with environment metadata.
 func NewReport() (*Report, error) {
 	results, err := Run()
 	if err != nil {
 		return nil, err
 	}
+	phases, err := SolverPhases()
+	if err != nil {
+		return nil, err
+	}
 	return &Report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		Benchmarks: results,
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Benchmarks:   results,
+		SolverPhases: phases,
 	}, nil
 }
 

@@ -69,7 +69,7 @@ func BenchmarkOPAPass(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := st.clone()
-		if _, err := runOPAPass(c, opts); err != nil {
+		if _, err := runOPAPass(c, opts, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +85,7 @@ func BenchmarkOPAPassNaive(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := st.clone()
-		if _, err := runOPAPassNaive(c, opts); err != nil {
+		if _, err := runOPAPassNaive(c, opts, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -28,7 +28,7 @@ func OPAPassRunner(net *nfv.Network, task nfv.Task, opts Options) (func() error,
 	}
 	return func() error {
 		c := st.clone()
-		_, err := pass(c, opts)
+		_, err := pass(c, opts, 1)
 		return err
 	}, nil
 }

@@ -55,6 +55,10 @@ type Options struct {
 	// trade-off is more trial evaluations. Incompatible with
 	// LocalAcceptance (which has no global gate) — ignored there.
 	AggressiveOPA bool
+	// Observer, when non-nil, receives structured phase events from
+	// every stage of the solve (see observe.go). Nil costs one pointer
+	// check per emission site and nothing else.
+	Observer Observer
 }
 
 func (o Options) opaPasses() int {

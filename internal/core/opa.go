@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sftree/internal/graph"
 )
@@ -18,8 +19,13 @@ func runOPA(s *state, opts Options) (int, error) {
 	}
 	total := 0
 	for i := 0; i < opts.opaPasses(); i++ {
-		moves, err := pass(s, opts)
+		t0 := opts.now()
+		opts.emit(Event{Kind: EventOPAPassStart, Pass: i + 1})
+		moves, err := pass(s, opts, i+1)
 		total += moves
+		if opts.Observer != nil {
+			opts.emit(Event{Kind: EventOPAPassEnd, Pass: i + 1, Moves: moves, Duration: time.Since(t0)})
+		}
 		if err != nil || moves == 0 {
 			return total, err
 		}
@@ -33,13 +39,14 @@ func runOPA(s *state, opts Options) (int, error) {
 // the paper's local rule c(x,E) + c(E,pred) + gamma < c(x,cur); moves
 // are accepted only if the recomputed global cost strictly drops
 // (unless Options.LocalAcceptance asks for the paper's raw rule).
-// It returns the number of accepted moves.
+// It returns the number of accepted moves. The pass number is only for
+// the optional Observer's events.
 //
 // Cost evaluation is incremental: the state's ledger (see ledger.go)
 // tracks the objective under each trial move, and a rejected move is
 // reverted through its journal. runOPAPassNaive preserves the
 // clone-and-recost evaluation with identical semantics.
-func runOPAPass(s *state, opts Options) (int, error) {
+func runOPAPass(s *state, opts Options, passNo int) (int, error) {
 	k := s.task.K()
 	metric := s.net.Metric()
 	s.ensureLedger()
@@ -105,6 +112,10 @@ func runOPAPass(s *state, opts Options) (int, error) {
 				continue
 			}
 
+			if opts.Observer != nil {
+				opts.emit(Event{Kind: EventMoveProposed, Pass: passNo, Level: j,
+					Conn: grp.node, From: cur, To: bestE, Group: len(grp.members), CostBefore: curCost})
+			}
 			jr := s.applyMoveInc(j, grp, bestE, metric)
 			if opts.LocalAcceptance {
 				moves++
@@ -113,13 +124,28 @@ func runOPAPass(s *state, opts Options) (int, error) {
 				if err != nil {
 					return moves, err
 				}
+				if opts.Observer != nil {
+					opts.emit(Event{Kind: EventMoveAccepted, Pass: passNo, Level: j,
+						Conn: grp.node, From: cur, To: bestE, Group: len(grp.members),
+						CostBefore: curCost, CostAfter: c})
+				}
 				curCost = c
 				continue
 			}
 			trialCost, err := s.totalCost()
 			if err != nil || trialCost >= curCost-costEps {
 				s.revert(jr)
+				if opts.Observer != nil {
+					opts.emit(Event{Kind: EventMoveRejected, Pass: passNo, Level: j,
+						Conn: grp.node, From: cur, To: bestE, Group: len(grp.members),
+						CostBefore: curCost, CostAfter: trialCost})
+				}
 				continue
+			}
+			if opts.Observer != nil {
+				opts.emit(Event{Kind: EventMoveAccepted, Pass: passNo, Level: j,
+					Conn: grp.node, From: cur, To: bestE, Group: len(grp.members),
+					CostBefore: curCost, CostAfter: trialCost})
 			}
 			curCost = trialCost
 			moves++
@@ -137,8 +163,9 @@ func runOPAPass(s *state, opts Options) (int, error) {
 // every candidate move is applied to a cloned state and priced by a
 // full embedding reconstruction. Kept behind Options.NaiveRecost as
 // the reference implementation the incremental engine is asserted
-// against (see equivalence_test.go).
-func runOPAPassNaive(s *state, opts Options) (int, error) {
+// against (see equivalence_test.go). It emits the same Observer events
+// as runOPAPass, so traces are comparable across engines.
+func runOPAPassNaive(s *state, opts Options, passNo int) (int, error) {
 	k := s.task.K()
 	metric := s.net.Metric()
 	curCost, err := s.cost()
@@ -190,6 +217,10 @@ func runOPAPassNaive(s *state, opts Options) (int, error) {
 				continue
 			}
 
+			if opts.Observer != nil {
+				opts.emit(Event{Kind: EventMoveProposed, Pass: passNo, Level: j,
+					Conn: grp.node, From: cur, To: bestE, Group: len(grp.members), CostBefore: curCost})
+			}
 			trial := s.clone()
 			trial.applyMove(j, grp, bestE, metric)
 			if opts.LocalAcceptance {
@@ -200,12 +231,27 @@ func runOPAPassNaive(s *state, opts Options) (int, error) {
 				if err != nil {
 					return moves, err
 				}
+				if opts.Observer != nil {
+					opts.emit(Event{Kind: EventMoveAccepted, Pass: passNo, Level: j,
+						Conn: grp.node, From: cur, To: bestE, Group: len(grp.members),
+						CostBefore: curCost, CostAfter: c})
+				}
 				curCost = c
 				continue
 			}
 			trialCost, err := trial.cost()
 			if err != nil || trialCost >= curCost-costEps {
+				if opts.Observer != nil {
+					opts.emit(Event{Kind: EventMoveRejected, Pass: passNo, Level: j,
+						Conn: grp.node, From: cur, To: bestE, Group: len(grp.members),
+						CostBefore: curCost, CostAfter: trialCost})
+				}
 				continue
+			}
+			if opts.Observer != nil {
+				opts.emit(Event{Kind: EventMoveAccepted, Pass: passNo, Level: j,
+					Conn: grp.node, From: cur, To: bestE, Group: len(grp.members),
+					CostBefore: curCost, CostAfter: trialCost})
 			}
 			*s = *trial
 			curCost = trialCost

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sftree/internal/nfv"
 )
@@ -27,6 +28,13 @@ type Result struct {
 // the resulting embedding, which is guaranteed to pass
 // Network.Validate. The network is treated as read-only.
 func Solve(net *nfv.Network, task nfv.Task, opts Options) (*Result, error) {
+	if opts.Observer != nil {
+		t0 := time.Now()
+		net.Metric()
+		opts.emit(Event{Kind: EventAPSPBuild, Duration: time.Since(t0)})
+	}
+	t1 := opts.now()
+	opts.emit(Event{Kind: EventStage1Start})
 	st, stats, err := runMSA(net, task, opts)
 	if err != nil {
 		return nil, err
@@ -35,6 +43,12 @@ func Solve(net *nfv.Network, task nfv.Task, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Observer != nil {
+		opts.emit(Event{Kind: EventStage1End, Cost: stage1,
+			Candidates: stats.CandidatesTried, Duration: time.Since(t1)})
+	}
+	t2 := opts.now()
+	opts.emit(Event{Kind: EventStage2Start, Cost: stage1})
 	moves, err := runOPA(st, opts)
 	if err != nil {
 		return nil, err
@@ -42,6 +56,9 @@ func Solve(net *nfv.Network, task nfv.Task, opts Options) (*Result, error) {
 	final, err := st.cost()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Observer != nil {
+		opts.emit(Event{Kind: EventStage2End, Cost: final, Moves: moves, Duration: time.Since(t2)})
 	}
 	emb, err := st.embedding()
 	if err != nil {
@@ -63,6 +80,8 @@ func Solve(net *nfv.Network, task nfv.Task, opts Options) (*Result, error) {
 // SolveStageOne runs only MSA (Algorithm 2), for ablations and as the
 // starting point that baseline strategies replace.
 func SolveStageOne(net *nfv.Network, task nfv.Task, opts Options) (*Result, error) {
+	t1 := opts.now()
+	opts.emit(Event{Kind: EventStage1Start})
 	st, stats, err := runMSA(net, task, opts)
 	if err != nil {
 		return nil, err
@@ -70,6 +89,10 @@ func SolveStageOne(net *nfv.Network, task nfv.Task, opts Options) (*Result, erro
 	cost, err := st.cost()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Observer != nil {
+		opts.emit(Event{Kind: EventStage1End, Cost: cost,
+			Candidates: stats.CandidatesTried, Duration: time.Since(t1)})
 	}
 	emb, err := st.embedding()
 	if err != nil {
@@ -113,6 +136,8 @@ func OptimizeEmbedding(net *nfv.Network, task nfv.Task, hosts []int, tails [][]i
 	if err != nil {
 		return nil, err
 	}
+	t2 := opts.now()
+	opts.emit(Event{Kind: EventStage2Start, Cost: stage1})
 	moves, err := runOPA(st, opts)
 	if err != nil {
 		return nil, err
@@ -120,6 +145,9 @@ func OptimizeEmbedding(net *nfv.Network, task nfv.Task, hosts []int, tails [][]i
 	final, err := st.cost()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Observer != nil {
+		opts.emit(Event{Kind: EventStage2End, Cost: final, Moves: moves, Duration: time.Since(t2)})
 	}
 	emb, err := st.embedding()
 	if err != nil {

@@ -13,9 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"sftree/internal/core"
 	"sftree/internal/nfv"
+	"sftree/internal/obs"
 )
 
 var (
@@ -58,6 +60,18 @@ type Manager struct {
 
 	admitted, rejected int
 	admittedCost       float64
+
+	// met holds the optional registry handles (see Instrument).
+	met *managerMetrics
+}
+
+// managerMetrics are the registry handles an instrumented manager
+// updates: lifecycle counters, live-state gauges and the per-admission
+// solve latency histogram.
+type managerMetrics struct {
+	admitted, rejected, released *obs.Counter
+	live, liveInstances          *obs.Gauge
+	solveMS                      *obs.Histogram
 }
 
 // NewManager wraps a network for dynamic session management. The
@@ -75,6 +89,34 @@ func NewManager(net *nfv.Network, opts core.Options) *Manager {
 // Network exposes the managed network (read-only use expected).
 func (m *Manager) Network() *nfv.Network { return m.net }
 
+// Instrument wires the manager's lifecycle into the registry:
+// sessions_{admitted,rejected,released}_total counters, the
+// sessions_live and instances_live gauges, and the session_solve_ms
+// per-admission latency histogram. It returns the manager for
+// chaining; an uninstrumented manager pays nothing.
+func (m *Manager) Instrument(reg *obs.Registry) *Manager {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met = &managerMetrics{
+		admitted:      reg.Counter("sessions_admitted_total"),
+		rejected:      reg.Counter("sessions_rejected_total"),
+		released:      reg.Counter("sessions_released_total"),
+		live:          reg.Gauge("sessions_live"),
+		liveInstances: reg.Gauge("instances_live"),
+		solveMS:       reg.Histogram("session_solve_ms", nil),
+	}
+	return m
+}
+
+// observe refreshes the live gauges; callers hold m.mu.
+func (m *Manager) observe() {
+	if m.met == nil {
+		return
+	}
+	m.met.live.Set(int64(len(m.sessions)))
+	m.met.liveInstances.Set(int64(len(m.refs)))
+}
+
 // Admit solves the task against the current deployment state,
 // installs its new instances, and reference-counts every dynamic
 // instance its flows traverse. A solver failure (no capacity, no
@@ -82,9 +124,16 @@ func (m *Manager) Network() *nfv.Network { return m.net }
 func (m *Manager) Admit(task nfv.Task) (*Session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	start := time.Now()
 	res, err := core.Solve(m.net, task, m.opts)
+	if m.met != nil {
+		m.met.solveMS.ObserveDuration(time.Since(start))
+	}
 	if err != nil {
 		m.rejected++
+		if m.met != nil {
+			m.met.rejected.Inc()
+		}
 		return nil, fmt.Errorf("%w: %w", ErrRejected, err)
 	}
 	// Install the brand-new instances.
@@ -94,6 +143,9 @@ func (m *Manager) Admit(task nfv.Task) (*Session, error) {
 			// solver bug (validated embeddings must fit capacity).
 			m.rollback(res.Embedding.NewInstances, inst)
 			m.rejected++
+			if m.met != nil {
+				m.met.rejected.Inc()
+			}
 			return nil, fmt.Errorf("%w: install: %w", ErrRejected, err)
 		}
 	}
@@ -124,6 +176,10 @@ func (m *Manager) Admit(task nfv.Task) (*Session, error) {
 	m.sessions[sess.ID] = sess
 	m.admitted++
 	m.admittedCost += res.FinalCost
+	if m.met != nil {
+		m.met.admitted.Inc()
+		m.observe()
+	}
 	return sess, nil
 }
 
@@ -156,6 +212,10 @@ func (m *Manager) Release(id SessionID) error {
 		if err := m.net.Undeploy(key[0], key[1]); err != nil {
 			return fmt.Errorf("dynamic: release %d: %w", id, err)
 		}
+	}
+	if m.met != nil {
+		m.met.released.Inc()
+		m.observe()
 	}
 	return nil
 }

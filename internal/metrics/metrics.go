@@ -45,9 +45,12 @@ func (s *Sample) N() int { return s.n }
 // Mean returns the sample mean (0 with no observations).
 func (s *Sample) Mean() float64 { return s.mean }
 
-// StdDev returns the sample standard deviation (n-1 denominator).
+// StdDev returns the sample standard deviation (n-1 denominator). It
+// is 0 for fewer than two observations, and floating-point cancellation
+// in the Welford accumulator can never surface as NaN: a (tiny)
+// negative second moment is clamped to zero.
 func (s *Sample) StdDev() float64 {
-	if s.n < 2 {
+	if s.n < 2 || s.m2 <= 0 {
 		return 0
 	}
 	return math.Sqrt(s.m2 / float64(s.n-1))
@@ -97,7 +100,10 @@ func (d *Distribution) Mean() float64 {
 }
 
 // Quantile returns the q-quantile (q in [0,1]) with linear
-// interpolation between order statistics; 0 when empty.
+// interpolation between order statistics. Degenerate inputs are safe:
+// an empty distribution yields 0, a single observation yields itself
+// for every q, out-of-range q clamps to the extremes, and a NaN q is
+// treated as 0 (never an index panic).
 func (d *Distribution) Quantile(q float64) float64 {
 	n := len(d.vals)
 	if n == 0 {
@@ -108,7 +114,7 @@ func (d *Distribution) Quantile(q float64) float64 {
 		d.sorted = true
 	}
 	switch {
-	case q <= 0:
+	case q <= 0 || math.IsNaN(q):
 		return d.vals[0]
 	case q >= 1:
 		return d.vals[n-1]

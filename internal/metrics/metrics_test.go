@@ -95,6 +95,57 @@ func TestDistributionQuantiles(t *testing.T) {
 	}
 }
 
+// TestDegenerateInputsNeverNaN table-drives every accessor over the
+// degenerate observation counts (0, 1, 2) plus pathological values, and
+// asserts nothing surfaces as NaN, Inf, or a panic.
+func TestDegenerateInputsNeverNaN(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []float64
+	}{
+		{"empty", nil},
+		{"single", []float64{7}},
+		{"single_zero", []float64{0}},
+		{"single_negative", []float64{-3.5}},
+		{"pair", []float64{2, 2}},
+		{"pair_distinct", []float64{1, 9}},
+		{"identical_many", []float64{4, 4, 4, 4}},
+		{"huge_cancellation", []float64{1e15, 1e15 + 1, 1e15 + 2}},
+	}
+	quantiles := []float64{math.NaN(), -1, 0, 0.5, 1, 2}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sample
+			var d Distribution
+			for _, x := range tc.obs {
+				s.Add(x)
+				d.Add(x)
+			}
+			for name, v := range map[string]float64{
+				"Sample.Mean": s.Mean(), "Sample.StdDev": s.StdDev(),
+				"Sample.Min": s.Min(), "Sample.Max": s.Max(),
+				"Distribution.Mean": d.Mean(),
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v", name, v)
+				}
+			}
+			if s.StdDev() < 0 {
+				t.Errorf("negative stddev %v", s.StdDev())
+			}
+			for _, q := range quantiles {
+				v := d.Quantile(q)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("Quantile(%v) = %v", q, v)
+				}
+				if len(tc.obs) == 1 && v != tc.obs[0] {
+					t.Errorf("single-observation Quantile(%v) = %v, want %v", q, v, tc.obs[0])
+				}
+			}
+		})
+	}
+}
+
 func TestReductionPct(t *testing.T) {
 	if got := ReductionPct(200, 150); math.Abs(got-25) > 1e-12 {
 		t.Errorf("got %v, want 25", got)

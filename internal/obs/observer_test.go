@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+// obsInstance builds the fixed-seed mid-size instance every observer
+// test solves, large enough that stage two accepts moves.
+func obsInstance(t testing.TB) (*nfv.Network, nfv.Task) {
+	t.Helper()
+	net, err := netgen.Generate(netgen.PaperConfig(60, 2), rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := netgen.GenerateTask(net, rand.New(rand.NewSource(12)), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, task
+}
+
+// TestEventOrdering asserts the structural invariants of one observed
+// fixed-seed solve: phases open before they close, passes nest inside
+// stage two, move events nest inside passes, and accepted moves carry
+// strictly improving global costs.
+func TestEventOrdering(t *testing.T) {
+	net, task := obsInstance(t)
+	rec := &SpanRecorder{}
+	res, err := core.Solve(net, task, core.Options{Observer: rec, MaxOPAPasses: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	seen := make(map[core.EventKind]int)
+	var inStage1, inStage2, inPass bool
+	accepted := 0
+	for i, e := range events {
+		seen[e.Kind]++
+		switch e.Kind {
+		case core.EventAPSPBuild:
+			if i != 0 {
+				t.Errorf("event %d: apsp_build not first", i)
+			}
+		case core.EventStage1Start:
+			inStage1 = true
+		case core.EventStage1End:
+			if !inStage1 {
+				t.Errorf("event %d: stage1_end before stage1_start", i)
+			}
+			inStage1 = false
+			if e.Candidates <= 0 || e.Cost <= 0 {
+				t.Errorf("stage1_end missing stats: %+v", e)
+			}
+		case core.EventStage2Start:
+			if inStage1 {
+				t.Errorf("event %d: stage2_start inside stage 1", i)
+			}
+			inStage2 = true
+		case core.EventStage2End:
+			if !inStage2 || inPass {
+				t.Errorf("event %d: stage2_end out of order", i)
+			}
+			inStage2 = false
+			if e.Moves != res.MovesAccepted {
+				t.Errorf("stage2_end moves = %d, want %d", e.Moves, res.MovesAccepted)
+			}
+		case core.EventOPAPassStart:
+			if !inStage2 || inPass {
+				t.Errorf("event %d: pass_start out of order", i)
+			}
+			inPass = true
+		case core.EventOPAPassEnd:
+			if !inPass {
+				t.Errorf("event %d: pass_end without pass_start", i)
+			}
+			inPass = false
+		case core.EventMoveProposed, core.EventMoveAccepted, core.EventMoveRejected:
+			if !inPass {
+				t.Errorf("event %d: move event outside a pass", i)
+			}
+			if e.Kind == core.EventMoveAccepted {
+				accepted++
+				if e.CostAfter >= e.CostBefore {
+					t.Errorf("accepted move did not improve: %+v", e)
+				}
+			}
+		}
+	}
+	if inStage1 || inStage2 || inPass {
+		t.Error("unbalanced phase events")
+	}
+	for _, k := range []core.EventKind{core.EventAPSPBuild, core.EventStage1Start,
+		core.EventStage1End, core.EventStage2Start, core.EventStage2End,
+		core.EventOPAPassStart, core.EventOPAPassEnd} {
+		if seen[k] == 0 {
+			t.Errorf("no %v event", k)
+		}
+	}
+	if accepted != res.MovesAccepted {
+		t.Errorf("accepted events = %d, result moves = %d", accepted, res.MovesAccepted)
+	}
+	// Proposals are a superset of outcomes.
+	if seen[core.EventMoveProposed] != seen[core.EventMoveAccepted]+seen[core.EventMoveRejected] {
+		t.Errorf("move funnel mismatch: %d proposed, %d accepted, %d rejected",
+			seen[core.EventMoveProposed], seen[core.EventMoveAccepted], seen[core.EventMoveRejected])
+	}
+}
+
+// TestEngineEventParity: the incremental and naive stage-two engines
+// must emit the same move sequence on the same instance.
+func TestEngineEventParity(t *testing.T) {
+	net, task := obsInstance(t)
+	runs := make([][]core.Event, 2)
+	for i, naive := range []bool{false, true} {
+		rec := &SpanRecorder{}
+		if _, err := core.Solve(net, task, core.Options{Observer: rec, NaiveRecost: naive}); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range rec.Events() {
+			switch e.Kind {
+			case core.EventMoveProposed, core.EventMoveAccepted, core.EventMoveRejected:
+				e.Duration = 0
+				runs[i] = append(runs[i], e)
+			}
+		}
+	}
+	if len(runs[0]) != len(runs[1]) {
+		t.Fatalf("move event counts differ: %d vs %d", len(runs[0]), len(runs[1]))
+	}
+	for i := range runs[0] {
+		a, b := runs[0][i], runs[1][i]
+		if a.Kind != b.Kind || a.Level != b.Level || a.From != b.From || a.To != b.To {
+			t.Errorf("move %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestBreakdownAndSpans(t *testing.T) {
+	net, task := obsInstance(t)
+	rec := &SpanRecorder{}
+	res, err := core.Solve(net, task, core.Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Breakdown()
+	if b.Stage1Ns <= 0 || b.Stage2Ns <= 0 || b.OPAPasses < 1 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.Stage1Cost != res.Stage1Cost || b.FinalCost != res.FinalCost {
+		t.Errorf("breakdown costs %v/%v, result %v/%v", b.Stage1Cost, b.FinalCost, res.Stage1Cost, res.FinalCost)
+	}
+	if b.MovesAccepted != res.MovesAccepted {
+		t.Errorf("breakdown moves = %d, want %d", b.MovesAccepted, res.MovesAccepted)
+	}
+
+	spans := rec.Spans()
+	var stage2 *Span
+	for _, s := range spans {
+		if s.Name == "stage2" {
+			stage2 = s
+		}
+	}
+	if stage2 == nil {
+		t.Fatalf("no stage2 span in %d roots", len(spans))
+	}
+	if len(stage2.Children) == 0 || !strings.HasPrefix(stage2.Children[0].Name, "opa_pass_") {
+		t.Errorf("stage2 children = %+v", stage2.Children)
+	}
+	if stage2.DurationNs <= 0 {
+		t.Errorf("stage2 span has no duration")
+	}
+}
+
+func TestJSONLObserver(t *testing.T) {
+	net, task := obsInstance(t)
+	var buf bytes.Buffer
+	if _, err := core.Solve(net, task, core.Options{Observer: NewJSONLObserver(&buf)}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	kinds := make(map[string]bool)
+	for i, ln := range lines {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v (%q)", i, err, ln)
+		}
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"apsp_build", "stage1_end", "stage2_end"} {
+		if !kinds[want] {
+			t.Errorf("no %q line in stream", want)
+		}
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of nils should be nil")
+	}
+	a := &SpanRecorder{}
+	if got := Tee(nil, a); got != core.Observer(a) {
+		t.Error("single observer should be returned unwrapped")
+	}
+	b := &SpanRecorder{}
+	Tee(a, b).OnEvent(core.Event{Kind: core.EventStage1Start})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Error("tee did not fan out")
+	}
+}
+
+// TestConcurrentSolvesIntoSharedRegistry hammers one registry-backed
+// observer from parallel solves; meaningful under -race (tools.sh).
+func TestConcurrentSolvesIntoSharedRegistry(t *testing.T) {
+	net, task := obsInstance(t)
+	net.Metric() // warm the shared APSP cache up front
+	reg := NewRegistry()
+	observer := Tee(NewMetricsObserver(reg), &SpanRecorder{})
+	var wg sync.WaitGroup
+	const workers, solves = 6, 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < solves; i++ {
+				if _, err := core.Solve(net, task, core.Options{Observer: observer}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				reg.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := reg.Counter("solver_solves_total").Value(); got != workers*solves {
+		t.Errorf("solver_solves_total = %d, want %d", got, workers*solves)
+	}
+	if got := reg.Histogram("solver_stage1_ms", nil).Count(); got != workers*solves {
+		t.Errorf("stage1 histogram count = %d, want %d", got, workers*solves)
+	}
+}

@@ -6,18 +6,26 @@
 // network the server was started with.
 //
 //	GET    /healthz               liveness probe
+//	GET    /readyz                readiness probe (network + session API state)
+//	GET    /metrics               JSON metrics snapshot (counters/gauges/histograms)
 //	POST   /v1/solve              {instance, algorithm?, seed?} -> embedding + costs
 //	POST   /v1/validate           {instance, embedding} -> verdict + replay
 //	POST   /v1/render             {instance, algorithm?} -> image/svg+xml
 //	POST   /v1/sessions           task -> admitted session (server network)
 //	GET    /v1/sessions           manager statistics
 //	DELETE /v1/sessions/{id}      release a session
+//
+// Every request passes through the obs middleware: request IDs,
+// structured access logs, per-route latency histograms and an
+// in-flight gauge. Solver phase events feed the same registry, so
+// /metrics shows where stage-2 time goes under live traffic.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -27,41 +35,77 @@ import (
 	"sftree/internal/dynamic"
 	"sftree/internal/exact"
 	"sftree/internal/nfv"
+	"sftree/internal/obs"
 	"sftree/internal/viz"
 )
 
 // MaxBodyBytes caps request bodies.
 const MaxBodyBytes = 16 << 20
 
-// Server is the HTTP facade. Create it with New; it implements
-// http.Handler.
-type Server struct {
-	mux *http.ServeMux
-	mgr *dynamic.Manager
-	net *nfv.Network
+// Config carries the optional observability wiring.
+type Config struct {
+	// Registry receives HTTP, solver and session metrics; nil creates
+	// a private registry (reachable via Server.Registry).
+	Registry *obs.Registry
+	// Logger emits structured access logs; nil disables them.
+	Logger *slog.Logger
+	// Observer, when set, additionally receives every solver phase
+	// event (on top of the registry bridge) — e.g. a JSON-lines
+	// streamer for request tracing.
+	Observer core.Observer
 }
 
-// New builds a server. net backs the stateful session API and may be
-// nil, in which case only the stateless endpoints are served.
+// Server is the HTTP facade. Create it with New or NewWith; it
+// implements http.Handler.
+type Server struct {
+	mux  *http.ServeMux
+	h    http.Handler // mux wrapped in the obs middleware
+	mgr  *dynamic.Manager
+	net  *nfv.Network
+	reg  *obs.Registry
+	opts core.Options // base solver options, observer attached
+}
+
+// New builds a server with default observability (private registry, no
+// access logs). net backs the stateful session API and may be nil, in
+// which case only the stateless endpoints are served.
 func New(net *nfv.Network, opts core.Options) *Server {
-	s := &Server{mux: http.NewServeMux(), net: net}
+	return NewWith(net, opts, Config{})
+}
+
+// NewWith builds a server with explicit observability wiring.
+func NewWith(net *nfv.Network, opts core.Options, cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	opts.Observer = obs.Tee(opts.Observer, cfg.Observer, obs.NewMetricsObserver(reg))
+	s := &Server{mux: http.NewServeMux(), net: net, reg: reg, opts: opts}
 	if net != nil {
-		s.mgr = dynamic.NewManager(net, opts)
+		s.mgr = dynamic.NewManager(net, opts).Instrument(reg)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	s.mux.HandleFunc("POST /v1/render", s.handleRender)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleAdmit)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionStats)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleRelease)
+	s.mux.HandleFunc("/", s.handleFallback)
+	s.h = obs.Middleware(reg, cfg.Logger, s.mux)
 	return s
 }
+
+// Registry exposes the server's metrics registry (for embedding into a
+// wider process registry or asserting in tests).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	s.h.ServeHTTP(w, r)
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -120,23 +164,42 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// runAlgorithm dispatches one stateless solve.
-func runAlgorithm(req *SolveRequest) (*core.Result, error) {
+// handleReady reports readiness, distinct from liveness: whether the
+// stateful session API is backed by a network and how many sessions
+// are live. A stateless server is ready by construction.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{"status": "ready", "sessions_api": s.mgr != nil}
+	if s.mgr != nil {
+		resp["active_sessions"] = s.mgr.Active()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFallback turns unmatched routes into the same JSON error
+// envelope the API handlers use, instead of net/http's text 404.
+func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, fmt.Errorf("no route for %s %s", r.Method, r.URL.Path))
+}
+
+// runAlgorithm dispatches one stateless solve under the server's base
+// options (observer included, so every solve feeds /metrics).
+func (s *Server) runAlgorithm(req *SolveRequest) (*core.Result, error) {
 	net, task := req.Instance.Network, req.Instance.Task
 	if net == nil {
 		return nil, errors.New("request carries no network")
 	}
+	opts := s.opts
 	switch req.Algorithm {
 	case "", "msa":
-		return core.Solve(net, task, core.Options{})
+		return core.Solve(net, task, opts)
 	case "msa1":
-		return core.SolveStageOne(net, task, core.Options{})
+		return core.SolveStageOne(net, task, opts)
 	case "sca":
-		return baseline.SCA(net, task, core.Options{})
+		return baseline.SCA(net, task, opts)
 	case "rsa":
-		return baseline.RSA(net, task, rand.New(rand.NewSource(req.Seed)), core.Options{})
+		return baseline.RSA(net, task, rand.New(rand.NewSource(req.Seed)), opts)
 	case "onenode":
-		return baseline.OneNode(net, task, core.Options{})
+		return baseline.OneNode(net, task, opts)
 	case "bks":
 		res, err := exact.BestKnown(net, task)
 		if err != nil {
@@ -151,7 +214,12 @@ func runAlgorithm(req *SolveRequest) (*core.Result, error) {
 func decodeBody[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("decode request: %w", err))
 		return false
 	}
 	return true
@@ -162,7 +230,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := runAlgorithm(&req)
+	res, err := s.runAlgorithm(&req)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, nfv.ErrInvalidTask) {
@@ -209,7 +277,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := runAlgorithm(&req)
+	res, err := s.runAlgorithm(&req)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return

@@ -13,6 +13,7 @@ import (
 	"sftree/internal/core"
 	"sftree/internal/netgen"
 	"sftree/internal/nfv"
+	"sftree/internal/obs"
 )
 
 func testInstance(t *testing.T) nfv.InstanceDoc {
@@ -237,6 +238,186 @@ func TestSessionLifecycleOverHTTP(t *testing.T) {
 	defer badResp.Body.Close()
 	if badResp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad id status = %d", badResp.StatusCode)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	for _, withNet := range []bool{false, true} {
+		ts := newTestServer(t, withNet)
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("withNet=%v: status = %d", withNet, resp.StatusCode)
+		}
+		var body struct {
+			Status      string `json:"status"`
+			SessionsAPI bool   `json:"sessions_api"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Status != "ready" || body.SessionsAPI != withNet {
+			t.Errorf("withNet=%v: body = %+v", withNet, body)
+		}
+	}
+}
+
+func TestErrorEnvelopes(t *testing.T) {
+	ts := newTestServer(t, false)
+
+	// Malformed body: 400 with {"error": ...}.
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	assertErrorEnvelope(t, resp, http.StatusBadRequest)
+
+	// Oversized body: 413 with {"error": ...}.
+	huge := strings.NewReader(`{"instance":{"network":{"pad":"` + strings.Repeat("x", MaxBodyBytes+1) + `"}}}`)
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	assertErrorEnvelope(t, resp, http.StatusRequestEntityTooLarge)
+
+	// Unknown route: JSON 404, not net/http's text page.
+	resp, err = http.Get(ts.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	assertErrorEnvelope(t, resp, http.StatusNotFound)
+}
+
+func assertErrorEnvelope(t *testing.T, resp *http.Response, wantStatus int) {
+	t.Helper()
+	if resp.StatusCode != wantStatus {
+		t.Errorf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("body is not a JSON envelope: %v", err)
+	}
+	if body.Error == "" {
+		t.Error("envelope has empty error message")
+	}
+}
+
+// TestSolveFeedsMetrics is the acceptance check: one POST /v1/solve
+// must increment the per-route latency histogram AND record solver
+// phase timings through the attached observer.
+func TestSolveFeedsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewWith(nil, core.Options{}, Config{Registry: reg})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	if srv.Registry() != reg {
+		t.Fatal("Registry() does not return the wired registry")
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: testInstance(t)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Histograms["http_request_ms|POST /v1/solve"].Count; got != 1 {
+		t.Errorf("route histogram count = %d, want 1", got)
+	}
+	if got := snap.Counters["http_responses_total|POST /v1/solve|2xx"]; got != 1 {
+		t.Errorf("2xx counter = %d, want 1", got)
+	}
+	if got := snap.Counters["solver_solves_total"]; got != 1 {
+		t.Errorf("solver_solves_total = %d, want 1", got)
+	}
+	for _, h := range []string{"solver_stage1_ms", "solver_stage2_ms"} {
+		if got := snap.Histograms[h].Count; got < 1 {
+			t.Errorf("%s count = %d, want >= 1", h, got)
+		}
+	}
+
+	// The /metrics endpoint serves the same snapshot as JSON.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", mresp.StatusCode)
+	}
+	var served obs.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if served.Counters["solver_solves_total"] != 1 {
+		t.Errorf("/metrics solver_solves_total = %d", served.Counters["solver_solves_total"])
+	}
+}
+
+// TestSessionMetrics: admissions and releases show up in the manager's
+// instrumented counters and gauges.
+func TestSessionMetrics(t *testing.T) {
+	ts := newTestServer(t, true)
+	task := nfv.Task{Source: 0, Destinations: []int{5, 9}, Chain: nfv.SFC{0, 1}}
+
+	resp := postJSON(t, ts.URL+"/v1/sessions", task)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d", resp.StatusCode)
+	}
+	var admitted AdmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&admitted); err != nil {
+		t.Fatal(err)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sessions_admitted_total"] != 1 || snap.Gauges["sessions_live"] != 1 {
+		t.Errorf("admit metrics: admitted=%d live=%d",
+			snap.Counters["sessions_admitted_total"], snap.Gauges["sessions_live"])
+	}
+	if snap.Histograms["session_solve_ms"].Count != 1 {
+		t.Errorf("session_solve_ms count = %d", snap.Histograms["session_solve_ms"].Count)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%d", ts.URL, admitted.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+
+	mresp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp2.Body.Close()
+	snap = obs.Snapshot{}
+	if err := json.NewDecoder(mresp2.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sessions_released_total"] != 1 || snap.Gauges["sessions_live"] != 0 {
+		t.Errorf("release metrics: released=%d live=%d",
+			snap.Counters["sessions_released_total"], snap.Gauges["sessions_live"])
 	}
 }
 

@@ -1,16 +1,64 @@
 #!/bin/sh
 # tools.sh — repository hygiene gate.
 #
-# Runs the static checks and the race-enabled test suite. CI and
-# pre-commit should both call this; it exits non-zero on the first
-# failure.
+# Runs the static checks, the race-enabled test suite, and the
+# observability smoke test. CI and pre-commit should both call this;
+# it exits non-zero on the first failure.
 #
-#   ./tools.sh          # vet + gofmt + race tests
-#   ./tools.sh quick    # vet + gofmt only (skip the race run)
+#   ./tools.sh          # vet + gofmt + race tests + obs smoke
+#   ./tools.sh quick    # vet + gofmt only (skip the race run and smoke)
+#   ./tools.sh obs      # obs smoke only: build cmds, boot sftserve,
+#                       # assert /healthz /readyz /metrics respond
 
 set -eu
 
 cd "$(dirname "$0")"
+
+# obs_smoke builds every command, boots sftserve on an ephemeral port
+# with -debug, and asserts the health, readiness and metrics endpoints
+# answer. Uses only the Go toolchain — no curl dependency.
+obs_smoke() {
+	echo "==> go build ./cmd/..."
+	tmpdir=$(mktemp -d)
+	trap 'rm -rf "$tmpdir"; [ -n "${srv_pid:-}" ] && kill "$srv_pid" 2>/dev/null || true' EXIT
+	go build -o "$tmpdir" ./cmd/...
+
+	echo "==> obs smoke: sftserve -debug on 127.0.0.1:0"
+	"$tmpdir/sftserve" -listen 127.0.0.1:0 -nodes 12 -debug >"$tmpdir/out.log" 2>&1 &
+	srv_pid=$!
+
+	addr=""
+	for _ in $(seq 1 50); do
+		addr=$(sed -n 's/.*msg="sftserve listening" addr=\([0-9.:]*\).*/\1/p' "$tmpdir/out.log" | head -n1)
+		[ -n "$addr" ] && break
+		kill -0 "$srv_pid" 2>/dev/null || { echo "sftserve exited early:" >&2; cat "$tmpdir/out.log" >&2; exit 1; }
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "sftserve never reported a listen address:" >&2
+		cat "$tmpdir/out.log" >&2
+		exit 1
+	fi
+
+	for path in /healthz /readyz /metrics /debug/vars; do
+		"$tmpdir/sftcheck" -url "http://$addr$path" || {
+			echo "obs smoke: GET $path failed" >&2
+			cat "$tmpdir/out.log" >&2
+			exit 1
+		}
+		echo "    GET $path ok"
+	done
+
+	kill "$srv_pid"
+	wait "$srv_pid" 2>/dev/null || true
+	srv_pid=""
+	echo "OK (obs smoke)"
+}
+
+if [ "${1:-}" = "obs" ]; then
+	obs_smoke
+	exit 0
+fi
 
 echo "==> go vet ./..."
 go vet ./...
@@ -30,5 +78,7 @@ fi
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+obs_smoke
 
 echo "OK"
