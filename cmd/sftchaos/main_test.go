@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGateSucceeds(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "30", "-sessions", "8", "-faults", "6", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out.String())
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("non-JSON report: %v", err)
+	}
+	if rep["events_applied"].(float64) != 6 {
+		t.Fatalf("events_applied = %v", rep["events_applied"])
+	}
+}
+
+func TestGenScheduleRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "30", "-seed", "3", "-gen-schedule", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sched.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	err := run([]string{"-nodes", "30", "-sessions", "8", "-seed", "3", "-schedule", path}, &rep)
+	if err != nil {
+		t.Fatalf("replaying generated schedule: %v\n%s", err, rep.String())
+	}
+	if !strings.Contains(rep.String(), `"events_applied": 5`) {
+		t.Fatalf("report: %s", rep.String())
+	}
+}
+
+func TestBadScheduleFileFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-schedule", "/nonexistent.json"}, &out); err == nil {
+		t.Fatal("missing schedule file accepted")
+	}
+}

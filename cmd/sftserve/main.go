@@ -63,6 +63,7 @@ func run(ctx context.Context, args []string) error {
 		stateless = fs.Bool("stateless", false, "serve only the stateless endpoints")
 		debug     = fs.Bool("debug", false, "mount /debug/pprof/ and /debug/vars")
 		drain     = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
+		solveMax  = fs.Duration("solve-timeout", 0, "ceiling on any one solve/admission; the solver returns its best embedding so far at the deadline (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,7 +94,11 @@ func run(ctx context.Context, args []string) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	reg := obs.NewRegistry()
 	reg.PublishExpvar("sftree")
-	srv := server.NewWith(network, core.Options{}, server.Config{Registry: reg, Logger: logger})
+	srv := server.NewWith(network, core.Options{}, server.Config{
+		Registry:     reg,
+		Logger:       logger,
+		SolveTimeout: *solveMax,
+	})
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)

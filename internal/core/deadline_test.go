@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sftree/internal/netgen"
+)
+
+// TestExpiredContextReturnsPromptly is the acceptance check for
+// anytime solving: a context that is already expired at Solve time
+// must still yield a valid embedding (the first feasible stage-one
+// candidate) with the early-stop flag set, instead of running the full
+// candidate sweep and stage two.
+func TestExpiredContextReturnsPromptly(t *testing.T) {
+	net, task := workedExample(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Solve(net, task, Options{Ctx: ctx, MaxOPAPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EarlyStop {
+		t.Fatal("expired context did not set EarlyStop")
+	}
+	if res.CandidatesTried != 1 {
+		t.Errorf("candidates tried = %d, want 1 (stop after the first feasible)", res.CandidatesTried)
+	}
+	if res.MovesAccepted != 0 {
+		t.Errorf("moves accepted = %d, want 0 (stage two skipped)", res.MovesAccepted)
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("early-stopped embedding invalid: %v", err)
+	}
+}
+
+// TestNilContextMatchesUnbounded asserts the zero options are
+// untouched by the deadline machinery.
+func TestNilContextMatchesUnbounded(t *testing.T) {
+	net, task := workedExample(t)
+	bounded, err := Solve(net, task, Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Solve(net, task, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.EarlyStop || free.EarlyStop {
+		t.Fatal("unexpired contexts flagged EarlyStop")
+	}
+	if bounded.FinalCost != free.FinalCost || bounded.MovesAccepted != free.MovesAccepted {
+		t.Fatalf("live context changed the result: %+v vs %+v", bounded, free)
+	}
+}
+
+// TestDeadlineAnytimeOnGeneratedInstance runs a larger instance under
+// a deadline that expires mid-solve and asserts the result is always a
+// validated embedding no worse than stage one.
+func TestDeadlineAnytimeOnGeneratedInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net, err := netgen.Generate(netgen.PaperConfig(60, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := netgen.GenerateTask(net, rng, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, timeout := range []time.Duration{time.Nanosecond, 500 * time.Microsecond, time.Second} {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		res, err := Solve(net, task, Options{Ctx: ctx, MaxOPAPasses: 8})
+		cancel()
+		if err != nil {
+			t.Fatalf("timeout %v: %v", timeout, err)
+		}
+		if err := net.Validate(res.Embedding); err != nil {
+			t.Fatalf("timeout %v: invalid embedding: %v", timeout, err)
+		}
+		if res.FinalCost > res.Stage1Cost+1e-9 {
+			t.Fatalf("timeout %v: final %v worse than stage one %v", timeout, res.FinalCost, res.Stage1Cost)
+		}
+	}
+}
+
+// TestStageOneEarlyStopFlag covers the SolveStageOne path.
+func TestStageOneEarlyStopFlag(t *testing.T) {
+	net, task := workedExample(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveStageOne(net, task, Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EarlyStop {
+		t.Fatal("expired context did not set EarlyStop on stage one")
+	}
+	if err := net.Validate(res.Embedding); err != nil {
+		t.Errorf("embedding invalid: %v", err)
+	}
+}

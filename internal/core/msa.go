@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,6 +60,28 @@ type Options struct {
 	// every stage of the solve (see observe.go). Nil costs one pointer
 	// check per emission site and nothing else.
 	Observer Observer
+	// Ctx, when non-nil, bounds the solve: the algorithm polls it at
+	// the APSP build, at stage boundaries, between stage-one candidate
+	// hosts and at every stage-two pass and level boundary. On expiry
+	// the solve stops where it is and returns the best feasible
+	// embedding found so far (anytime semantics), with
+	// Result.EarlyStop set; only when no feasible solution exists yet
+	// does it fail, wrapping the context error. Nil means unbounded.
+	Ctx context.Context
+}
+
+// ctxErr polls the deadline context without blocking; nil when the
+// solve may continue.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 func (o Options) opaPasses() int {
@@ -80,6 +103,9 @@ type StageStats struct {
 	CandidatesTried int
 	Stage1Cost      float64
 	LastHost        int
+	// EarlyStop reports that the deadline context expired and the
+	// candidate sweep stopped at the best feasible solution found.
+	EarlyStop bool
 }
 
 // runMSA implements Algorithm 2: embed the SFC via the expanded MOD
@@ -111,6 +137,12 @@ func runMSA(net *nfv.Network, task nfv.Task, opts Options) (*state, *StageStats,
 		stats     StageStats
 	)
 	for _, w := range candidates {
+		// Anytime semantics: once one feasible solution is in hand, an
+		// expired deadline ends the sweep instead of trying every host.
+		if bestState != nil && opts.ctxErr() != nil {
+			stats.EarlyStop = true
+			break
+		}
 		if sol.CostTo(w) == graph.Inf {
 			continue
 		}

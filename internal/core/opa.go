@@ -11,14 +11,20 @@ import (
 const costEps = 1e-9
 
 // runOPA repeats runOPAPass up to Options.MaxOPAPasses times, stopping
-// early once a pass accepts nothing.
-func runOPA(s *state, opts Options) (int, error) {
+// early once a pass accepts nothing. The boolean reports a deadline
+// stop: the context on Options expired and the sweep ended with the
+// state as-is (every prefix of accepted moves is a valid solution, so
+// stopping between passes or levels loses nothing but optimization).
+func runOPA(s *state, opts Options) (int, bool, error) {
 	pass := runOPAPass
 	if opts.NaiveRecost {
 		pass = runOPAPassNaive
 	}
 	total := 0
 	for i := 0; i < opts.opaPasses(); i++ {
+		if opts.ctxErr() != nil {
+			return total, true, nil
+		}
 		t0 := opts.now()
 		opts.emit(Event{Kind: EventOPAPassStart, Pass: i + 1})
 		moves, err := pass(s, opts, i+1)
@@ -27,10 +33,10 @@ func runOPA(s *state, opts Options) (int, error) {
 			opts.emit(Event{Kind: EventOPAPassEnd, Pass: i + 1, Moves: moves, Duration: time.Since(t0)})
 		}
 		if err != nil || moves == 0 {
-			return total, err
+			return total, err == nil && opts.ctxErr() != nil, err
 		}
 	}
-	return total, nil
+	return total, opts.ctxErr() != nil, nil
 }
 
 // runOPAPass implements Algorithm 3: starting from the stage-one state,
@@ -66,6 +72,9 @@ func runOPAPass(s *state, opts Options, passNo int) (int, error) {
 	}
 
 	for j := k; j >= 1; j-- {
+		if opts.ctxErr() != nil {
+			return moves, nil // deadline: the current state is valid as-is
+		}
 		f := s.task.Chain[j-1]
 		if _, err := s.net.VNF(f); err != nil {
 			return moves, err
@@ -178,6 +187,9 @@ func runOPAPassNaive(s *state, opts Options, passNo int) (int, error) {
 	moves := 0
 
 	for j := k; j >= 1; j-- {
+		if opts.ctxErr() != nil {
+			return moves, nil // deadline: the current state is valid as-is
+		}
 		f := s.task.Chain[j-1]
 		if _, err := s.net.VNF(f); err != nil {
 			return moves, err

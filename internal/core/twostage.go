@@ -22,6 +22,11 @@ type Result struct {
 	CandidatesTried int
 	// LastHost is the stage-one host of the final chain VNF.
 	LastHost int
+	// EarlyStop reports that Options.Ctx expired before the algorithm
+	// ran to completion: the embedding is the best feasible solution
+	// found by then (anytime semantics), valid but possibly short of
+	// the unbounded result.
+	EarlyStop bool
 }
 
 // Solve runs the full two-stage algorithm (MSA then OPA) and returns
@@ -49,7 +54,7 @@ func Solve(net *nfv.Network, task nfv.Task, opts Options) (*Result, error) {
 	}
 	t2 := opts.now()
 	opts.emit(Event{Kind: EventStage2Start, Cost: stage1})
-	moves, err := runOPA(st, opts)
+	moves, stopped, err := runOPA(st, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +79,7 @@ func Solve(net *nfv.Network, task nfv.Task, opts Options) (*Result, error) {
 		MovesAccepted:   moves,
 		CandidatesTried: stats.CandidatesTried,
 		LastHost:        stats.LastHost,
+		EarlyStop:       stats.EarlyStop || stopped,
 	}, nil
 }
 
@@ -107,6 +113,7 @@ func SolveStageOne(net *nfv.Network, task nfv.Task, opts Options) (*Result, erro
 		FinalCost:       cost,
 		CandidatesTried: stats.CandidatesTried,
 		LastHost:        stats.LastHost,
+		EarlyStop:       stats.EarlyStop,
 	}, nil
 }
 
@@ -138,7 +145,7 @@ func OptimizeEmbedding(net *nfv.Network, task nfv.Task, hosts []int, tails [][]i
 	}
 	t2 := opts.now()
 	opts.emit(Event{Kind: EventStage2Start, Cost: stage1})
-	moves, err := runOPA(st, opts)
+	moves, stopped, err := runOPA(st, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -162,5 +169,6 @@ func OptimizeEmbedding(net *nfv.Network, task nfv.Task, hosts []int, tails [][]i
 		FinalCost:     final,
 		MovesAccepted: moves,
 		LastHost:      hosts[len(hosts)-1],
+		EarlyStop:     stopped,
 	}, nil
 }

@@ -10,8 +10,10 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,9 +36,16 @@ type SessionID int
 type Session struct {
 	ID   SessionID
 	Task nfv.Task
-	// Result is the solver outcome at admission time; its cost reflects
-	// the deployment state back then (reused instances were free).
+	// Result is the solver outcome at admission time; after a fault
+	// repair its Embedding and FinalCost reflect the repaired state.
 	Result *core.Result
+	// Degraded marks a session that a fault repair could not restore
+	// in full: it serves only the destinations its embedding still
+	// reaches (possibly none), and Lost lists the dropped ones.
+	Degraded bool
+	// Lost lists destination node IDs no longer served (unreachable or
+	// unrepairable after a fault). Empty for healthy sessions.
+	Lost []int
 	// uses lists the (vnf, node) instances this session's flows
 	// traverse, including ones inherited from earlier sessions.
 	uses [][2]int
@@ -69,9 +78,10 @@ type Manager struct {
 // updates: lifecycle counters, live-state gauges and the per-admission
 // solve latency histogram.
 type managerMetrics struct {
-	admitted, rejected, released *obs.Counter
-	live, liveInstances          *obs.Gauge
-	solveMS                      *obs.Histogram
+	admitted, rejected, released   *obs.Counter
+	repairAttempts, repairFailures *obs.Counter
+	live, liveInstances, degraded  *obs.Gauge
+	solveMS, repairCostDelta       *obs.Histogram
 }
 
 // NewManager wraps a network for dynamic session management. The
@@ -98,12 +108,16 @@ func (m *Manager) Instrument(reg *obs.Registry) *Manager {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.met = &managerMetrics{
-		admitted:      reg.Counter("sessions_admitted_total"),
-		rejected:      reg.Counter("sessions_rejected_total"),
-		released:      reg.Counter("sessions_released_total"),
-		live:          reg.Gauge("sessions_live"),
-		liveInstances: reg.Gauge("instances_live"),
-		solveMS:       reg.Histogram("session_solve_ms", nil),
+		admitted:        reg.Counter("sessions_admitted_total"),
+		rejected:        reg.Counter("sessions_rejected_total"),
+		released:        reg.Counter("sessions_released_total"),
+		repairAttempts:  reg.Counter("repair_attempts"),
+		repairFailures:  reg.Counter("repair_failures"),
+		live:            reg.Gauge("sessions_live"),
+		liveInstances:   reg.Gauge("instances_live"),
+		degraded:        reg.Gauge("sessions_degraded"),
+		solveMS:         reg.Histogram("session_solve_ms", nil),
+		repairCostDelta: reg.Histogram("repair_cost_delta", nil),
 	}
 	return m
 }
@@ -115,6 +129,13 @@ func (m *Manager) observe() {
 	}
 	m.met.live.Set(int64(len(m.sessions)))
 	m.met.liveInstances.Set(int64(len(m.refs)))
+	var deg int64
+	for _, sess := range m.sessions {
+		if sess.Degraded {
+			deg++
+		}
+	}
+	m.met.degraded.Set(deg)
 }
 
 // Admit solves the task against the current deployment state,
@@ -122,10 +143,20 @@ func (m *Manager) observe() {
 // instance its flows traverse. A solver failure (no capacity, no
 // route) yields ErrRejected with the cause wrapped.
 func (m *Manager) Admit(task nfv.Task) (*Session, error) {
+	return m.AdmitCtx(context.Background(), task)
+}
+
+// AdmitCtx is Admit with a solve deadline: the context is threaded
+// into core.Options.Ctx, so an expiring deadline yields the best
+// feasible embedding found so far (anytime semantics) rather than an
+// abort — admission still succeeds with Result.EarlyStop set.
+func (m *Manager) AdmitCtx(ctx context.Context, task nfv.Task) (*Session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	opts := m.opts
+	opts.Ctx = ctx
 	start := time.Now()
-	res, err := core.Solve(m.net, task, m.opts)
+	res, err := core.Solve(m.net, task, opts)
 	if m.met != nil {
 		m.met.solveMS.ObserveDuration(time.Since(start))
 	}
@@ -204,6 +235,12 @@ func (m *Manager) Release(id SessionID) error {
 	}
 	delete(m.sessions, id)
 	for _, key := range sess.uses {
+		if _, ok := m.refs[key]; !ok {
+			// The instance died in a fault after this session last
+			// referenced it; decrementing would mint a phantom negative
+			// entry and a later Undeploy would fail.
+			continue
+		}
 		m.refs[key]--
 		if m.refs[key] > 0 {
 			continue
@@ -218,6 +255,19 @@ func (m *Manager) Release(id SessionID) error {
 		m.observe()
 	}
 	return nil
+}
+
+// Sessions returns a snapshot of the live sessions ordered by ID.
+// Callers must treat the sessions as read-only.
+func (m *Manager) Sessions() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, sess := range m.sessions {
+		out = append(out, sess)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Active returns the number of live sessions.

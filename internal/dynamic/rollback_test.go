@@ -1,0 +1,168 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/faults"
+	"sftree/internal/nfv"
+)
+
+// TestRollbackStopsAtFailedInstance drives the mid-admission rollback
+// helper directly: when the i-th Deploy of an admission fails, every
+// instance installed before it must be undeployed and the failed one
+// (plus any after it) left untouched.
+func TestRollbackStopsAtFailedInstance(t *testing.T) {
+	insts := []nfv.Instance{
+		{VNF: 0, Node: 1, Level: 1},
+		{VNF: 1, Node: 1, Level: 2},
+		{VNF: 0, Node: 2, Level: 1},
+	}
+	cases := []struct {
+		name      string
+		installed int // how many of insts got deployed before the failure
+		failed    nfv.Instance
+	}{
+		{"first deploy fails", 0, insts[0]},
+		{"middle deploy fails", 1, insts[1]},
+		{"last deploy fails", 2, insts[2]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := lineNet(t, 4)
+			m := NewManager(net, core.Options{})
+			for i := 0; i < tc.installed; i++ {
+				if err := net.Deploy(insts[i].VNF, insts[i].Node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.rollback(insts, tc.failed)
+			for i, inst := range insts {
+				if net.IsDeployed(inst.VNF, inst.Node) {
+					t.Errorf("instance %d (%+v) still deployed after rollback", i, inst)
+				}
+			}
+			if used := net.UsedCapacity(1) + net.UsedCapacity(2); used != 0 {
+				t.Errorf("capacity leak after rollback: %v in use", used)
+			}
+		})
+	}
+}
+
+// TestReleaseNeverRemovesForeignInstances: instances deployed outside
+// the manager (pre-provisioned or by an operator) are reused for free
+// at admission but are not the manager's to undeploy on release.
+func TestReleaseNeverRemovesForeignInstances(t *testing.T) {
+	net := lineNet(t, 1) // capacity 1: one instance per server
+	m := NewManager(net, core.Options{})
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0, 1}}
+	if err := net.Deploy(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Deploy(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.Admit(task)
+	if err != nil {
+		t.Fatalf("admission reusing externally deployed instances: %v", err)
+	}
+	if len(sess.Result.Embedding.NewInstances) != 0 {
+		t.Fatalf("expected pure reuse, got new instances %v", sess.Result.Embedding.NewInstances)
+	}
+	if err := m.Release(sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !net.IsDeployed(0, 1) || !net.IsDeployed(1, 2) {
+		t.Fatal("release removed instances the manager does not own")
+	}
+}
+
+// TestReleaseEdgeCases table-drives the teardown paths: double release,
+// release after a fault purged the session's instances, and release
+// ordering of sessions sharing instances across a fault.
+func TestReleaseEdgeCases(t *testing.T) {
+	task := nfv.Task{Source: 0, Destinations: []int{3, 4}, Chain: nfv.SFC{0}}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, m *Manager, base *nfv.Network)
+	}{
+		{"double release", func(t *testing.T, m *Manager, base *nfv.Network) {
+			sess, err := m.Admit(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Release(sess.ID); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Release(sess.ID); !errors.Is(err, ErrUnknownSession) {
+				t.Fatalf("second release = %v, want ErrUnknownSession", err)
+			}
+			if m.Active() != 0 || m.LiveInstances() != 0 {
+				t.Fatalf("state damaged: active=%d instances=%d", m.Active(), m.LiveInstances())
+			}
+		}},
+		{"release after fault purge", func(t *testing.T, m *Manager, base *nfv.Network) {
+			sess, err := m.Admit(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Node 1 crashes: the session's only instance dies with it
+			// and its references are purged. Release must not decrement
+			// into a phantom negative count or attempt an undeploy.
+			rebaseAfter(t, m, base, faults.Event{Kind: faults.NodeDown, Node: 1})
+			if err := m.Release(sess.ID); err != nil {
+				t.Fatalf("release after purge: %v", err)
+			}
+			if m.Active() != 0 || m.LiveInstances() != 0 {
+				t.Fatalf("active=%d instances=%d", m.Active(), m.LiveInstances())
+			}
+		}},
+		{"shared instance, fault, then both released", func(t *testing.T, m *Manager, base *nfv.Network) {
+			s1, err := m.Admit(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := m.Admit(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebaseAfter(t, m, base, faults.Event{Kind: faults.NodeDown, Node: 1})
+			// Both sessions lost everything; releases in either order
+			// must be clean no-ops on the instance table.
+			for _, id := range []SessionID{s2.ID, s1.ID} {
+				if err := m.Release(id); err != nil {
+					t.Fatalf("release %d: %v", id, err)
+				}
+			}
+			if m.LiveInstances() != 0 {
+				t.Fatalf("instances leak: %d", m.LiveInstances())
+			}
+		}},
+		{"fault then repair then release", func(t *testing.T, m *Manager, base *nfv.Network) {
+			sess, err := m.Admit(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Link cut with a feasible detour: the session is patched,
+			// its refcounts re-derived; release must still be exact.
+			rep := rebaseAfter(t, m, base, faults.Event{Kind: faults.LinkDown, U: 1, V: 4})
+			if rep.Affected != 1 {
+				t.Fatalf("report %+v", rep)
+			}
+			if err := m.Release(sess.ID); err != nil {
+				t.Fatal(err)
+			}
+			if m.LiveInstances() != 0 {
+				t.Fatalf("instances leak after repaired release: %d", m.LiveInstances())
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := repairNet(t, 2)
+			m := NewManager(base, core.Options{})
+			tc.run(t, m, base)
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/graph"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+// testNet builds a 4-node diamond: 0-1, 0-2, 1-3, 2-3, servers at 1
+// and 2 (capacity 2), one VNF deployed at node 1.
+func testNet(t *testing.T) *nfv.Network {
+	t.Helper()
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(2, 3, 1)
+	net := nfv.NewNetwork(g, []nfv.VNF{{ID: 0, Name: "f0", Demand: 1}})
+	for _, v := range []int{1, 2} {
+		if err := net.SetServer(v, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SetSetupCost(0, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Deploy(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestLinkDownUpMaterialize(t *testing.T) {
+	base := testNet(t)
+	st := NewState(base)
+	if err := st.Apply(Event{Kind: LinkDown, U: 1, V: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.LinkIsDown(3, 1) {
+		t.Fatal("canonical link-down query failed")
+	}
+	degraded, err := st.Materialize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := degraded.Graph().HasEdge(1, 3); ok {
+		t.Fatal("failed link survived materialization")
+	}
+	if _, ok := degraded.Graph().HasEdge(0, 1); !ok {
+		t.Fatal("healthy link dropped")
+	}
+	if !degraded.IsDeployed(0, 1) {
+		t.Fatal("deployment not carried over")
+	}
+	// Heal and re-materialize: full topology returns.
+	if err := st.Apply(Event{Kind: LinkUp, U: 1, V: 3}); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := st.Materialize(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Graph().NumEdges() != base.Graph().NumEdges() {
+		t.Fatalf("healed network has %d edges, want %d", healed.Graph().NumEdges(), base.Graph().NumEdges())
+	}
+}
+
+func TestNodeCrashKillsInstancesAndLinks(t *testing.T) {
+	base := testNet(t)
+	st := NewState(base)
+	if err := st.Apply(Event{Kind: NodeDown, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := st.Materialize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.IsServer(1) {
+		t.Fatal("crashed node still a server")
+	}
+	if degraded.IsDeployed(0, 1) {
+		t.Fatal("instance survived its node's crash")
+	}
+	if _, ok := degraded.Graph().HasEdge(0, 1); ok {
+		t.Fatal("crashed node kept an incident link")
+	}
+	// Recovery restores topology and capacity but NOT the lost instance.
+	if err := st.Apply(Event{Kind: NodeUp, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := st.Materialize(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !healed.IsServer(1) || healed.Capacity(1) != 2 {
+		t.Fatal("recovered node lost its server role or capacity")
+	}
+	if healed.IsDeployed(0, 1) {
+		t.Fatal("crashed instance resurrected on node recovery")
+	}
+}
+
+func TestInstanceKillIsOneShot(t *testing.T) {
+	base := testNet(t)
+	st := NewState(base)
+	if err := st.Apply(Event{Kind: InstanceDown, VNF: 0, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := st.Materialize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.IsDeployed(0, 1) {
+		t.Fatal("killed instance survived")
+	}
+	// Re-deploy and re-materialize: the kill must not repeat.
+	if err := degraded.Deploy(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	again, err := st.Materialize(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.IsDeployed(0, 1) {
+		t.Fatal("one-shot kill repeated on the next materialization")
+	}
+}
+
+func TestApplyRejectsBadEvents(t *testing.T) {
+	st := NewState(testNet(t))
+	for _, ev := range []Event{
+		{Kind: LinkDown, U: 0, V: 3}, // not an edge
+		{Kind: NodeDown, Node: 9},    // out of range
+		{Kind: InstanceDown, VNF: 5}, // unknown VNF
+		{Kind: Kind(99)},             // unknown kind
+	} {
+		if err := st.Apply(ev); !errors.Is(err, ErrBadEvent) {
+			t.Errorf("Apply(%v) = %v, want ErrBadEvent", ev, err)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	sched := &Schedule{Seed: 42, Events: []Event{
+		{Kind: LinkDown, U: 1, V: 3},
+		{Kind: InstanceDown, VNF: 0, Node: 1},
+		{Kind: LinkUp, U: 1, V: 3},
+	}}
+	var buf bytes.Buffer
+	if err := sched.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || len(got.Events) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range sched.Events {
+		if got.Events[i] != sched.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], sched.Events[i])
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"events":[{"kind":"meteor"}]}`))); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGenerateIsSeededAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net, err := netgen.Generate(netgen.PaperConfig(30, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(net, DefaultGenConfig(40), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(net, DefaultGenConfig(40), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != 40 || len(b.Events) != 40 {
+		t.Fatalf("lengths %d, %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	// Every generated event must apply cleanly.
+	st := NewState(net)
+	for _, ev := range a.Events {
+		if err := st.Apply(ev); err != nil {
+			t.Fatalf("generated event %v invalid: %v", ev, err)
+		}
+	}
+	if _, err := st.Materialize(net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayerSteps(t *testing.T) {
+	base := testNet(t)
+	sched := &Schedule{Events: []Event{
+		{Kind: LinkDown, U: 1, V: 3},
+		{Kind: LinkDown, U: 2, V: 3},
+		{Kind: LinkUp, U: 1, V: 3},
+	}}
+	r := NewReplayer(base, sched)
+	cur := base
+	steps := 0
+	for !r.Done() {
+		ev, net, err := r.Step(cur)
+		if err != nil {
+			t.Fatalf("step %d (%v): %v", steps, ev, err)
+		}
+		cur = net
+		steps++
+	}
+	if steps != 3 || r.Remaining() != 0 {
+		t.Fatalf("steps=%d remaining=%d", steps, r.Remaining())
+	}
+	if r.State().DownLinks() != 1 {
+		t.Fatalf("down links = %d, want 1", r.State().DownLinks())
+	}
+	if _, _, err := r.Step(cur); err == nil {
+		t.Fatal("stepping an exhausted replayer succeeded")
+	}
+}

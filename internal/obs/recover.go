@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+)
+
+// Recover wraps next so a handler panic becomes a JSON 500 instead of
+// a torn connection: the panic value and stack are logged through
+// logger, panics_total is incremented in reg, and — if the handler had
+// not started writing — the client receives the standard error
+// envelope. http.ErrAbortHandler is re-raised untouched, preserving
+// net/http's deliberate-abort idiom. Place it *inside* Middleware so
+// the access log and status counters record the 500.
+func Recover(reg *Registry, logger *slog.Logger, next http.Handler) http.Handler {
+	var panics *Counter
+	if reg != nil {
+		panics = reg.Counter("panics_total")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw, tracked := w.(*statusWriter)
+		if !tracked {
+			sw = &statusWriter{ResponseWriter: w}
+			w = sw
+		}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			if panics != nil {
+				panics.Inc()
+			}
+			if logger != nil {
+				logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+					slog.String("id", RequestID(r.Context())),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())),
+				)
+			}
+			if sw.status == 0 { // headers unsent: we can still answer
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				_, _ = fmt.Fprintln(w, `{"error":"internal server error"}`)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

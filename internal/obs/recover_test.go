@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRecoverTurnsPanicIntoJSON500(t *testing.T) {
+	reg := NewRegistry()
+	var logs strings.Builder
+	logger := slog.New(slog.NewJSONHandler(&logs, nil))
+	h := Middleware(reg, nil, Recover(reg, logger, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})))
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/boom", nil))
+
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rr.Code)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("non-JSON body %q: %v", rr.Body.String(), err)
+	}
+	if body.Error != "internal server error" {
+		t.Fatalf("error envelope %q", body.Error)
+	}
+	if got := reg.Counter("panics_total").Value(); got != 1 {
+		t.Fatalf("panics_total = %d", got)
+	}
+	// The log line carries the panic value and a stack trace.
+	if !strings.Contains(logs.String(), "kaboom") || !strings.Contains(logs.String(), "recover_test.go") {
+		t.Fatalf("log missing panic or stack: %s", logs.String())
+	}
+}
+
+func TestRecoverAfterHeadersLeavesResponseAlone(t *testing.T) {
+	reg := NewRegistry()
+	h := Recover(reg, nil, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = io.WriteString(w, "partial")
+		panic("late")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/late", nil))
+	if rr.Code != http.StatusAccepted || rr.Body.String() != "partial" {
+		t.Fatalf("late panic rewrote response: %d %q", rr.Code, rr.Body.String())
+	}
+	if got := reg.Counter("panics_total").Value(); got != 1 {
+		t.Fatalf("panics_total = %d", got)
+	}
+}
+
+func TestRecoverPropagatesAbortHandler(t *testing.T) {
+	h := Recover(nil, nil, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler swallowed")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/abort", nil))
+	t.Fatal("unreachable")
+}

@@ -7,7 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"time"
 
 	"sftree/internal/dynamic"
 	"sftree/internal/nfv"
@@ -16,17 +19,99 @@ import (
 // Client is a typed HTTP client for the sftserve API, usable by other
 // controllers or test harnesses.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // NewClient targets a server base URL ("http://host:port"). httpClient
-// may be nil (http.DefaultClient).
+// may be nil (http.DefaultClient). The client does not retry unless
+// configured with WithRetry.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: base, http: httpClient}
+}
+
+// RetryPolicy bounds the client's automatic retries. Only idempotent
+// requests (GET, DELETE) are retried, and only on connection errors or
+// 5xx responses: a failed POST may have reached the server, so
+// repeating it could double-solve or double-admit.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (1 = no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (doubled per attempt,
+	// jittered to half-to-full of the computed delay).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. A server Retry-After
+	// header overrides the computed delay but is still capped here.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries up to 4 attempts with 50ms base backoff
+// capped at 2s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// WithRetry returns a copy of the client that retries under p.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cc := *c
+	cc.retry = p
+	return &cc
+}
+
+// retryable reports whether a failed attempt may be repeated: the
+// method must be idempotent and the failure transient (connection
+// error, i.e. resp == nil, or a 5xx status).
+func retryable(method string, resp *http.Response) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodDelete, http.MethodPut, http.MethodOptions:
+	default:
+		return false
+	}
+	return resp == nil || resp.StatusCode >= 500
+}
+
+// backoff computes the sleep before attempt n (1-based count of
+// failures so far), honoring a Retry-After header when the server sent
+// one. The exponential delay is jittered across [delay/2, delay].
+func (p RetryPolicy) backoff(n int, resp *http.Response) time.Duration {
+	if resp != nil {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				d := time.Duration(secs) * time.Second
+				if p.MaxDelay > 0 && d > p.MaxDelay {
+					d = p.MaxDelay
+				}
+				return d
+			}
+		}
+	}
+	d := p.BaseDelay << (n - 1)
+	if d <= 0 {
+		return 0
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleep waits d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // APIError carries the server's error body and HTTP status.
@@ -41,25 +126,55 @@ func (e *APIError) Error() string {
 
 // do round-trips a JSON request and decodes a JSON response into out
 // (skipped when out is nil). Non-2xx responses become *APIError.
+// Idempotent requests are retried under the client's RetryPolicy on
+// connection errors and 5xx responses, with jittered exponential
+// backoff, honoring Retry-After and the caller's context.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var blob []byte
 	if in != nil {
-		blob, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if blob, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("client: encode: %w", err)
 		}
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.attempt(ctx, method, path, blob, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= attempts || !retryable(method, resp) {
+			return lastErr
+		}
+		if err := sleep(ctx, c.retry.backoff(attempt, resp)); err != nil {
+			return fmt.Errorf("client: retry aborted: %w (last error: %v)", err, lastErr)
+		}
+	}
+}
+
+// attempt performs one round-trip. The returned response is non-nil
+// only on HTTP-level errors (for retry classification); its body is
+// already closed.
+func (c *Client) attempt(ctx context.Context, method, path string, blob []byte, out any) (*http.Response, error) {
+	var body io.Reader
+	if blob != nil {
 		body = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return fmt.Errorf("client: request: %w", err)
+		return nil, fmt.Errorf("client: request: %w", err)
 	}
-	if in != nil {
+	if blob != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return nil, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
@@ -68,15 +183,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return resp, &APIError{Status: resp.StatusCode, Message: msg}
 	}
 	if out == nil {
-		return nil
+		return nil, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode: %w", err)
+		return nil, fmt.Errorf("client: decode: %w", err)
 	}
-	return nil
+	return nil, nil
 }
 
 // Health checks the liveness endpoint.

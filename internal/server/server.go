@@ -22,6 +22,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"time"
 
 	"sftree/internal/baseline"
 	"sftree/internal/core"
@@ -53,17 +55,25 @@ type Config struct {
 	// event (on top of the registry bridge) — e.g. a JSON-lines
 	// streamer for request tracing.
 	Observer core.Observer
+	// SolveTimeout caps how long any one solve or admission may run.
+	// The solver has anytime semantics: on expiry it returns the best
+	// feasible embedding found so far with EarlyStop set, so a timeout
+	// degrades optimization quality, never correctness. Requests may
+	// ask for a shorter deadline (timeout_ms); they cannot exceed this
+	// ceiling. Zero means no server-side cap.
+	SolveTimeout time.Duration
 }
 
 // Server is the HTTP facade. Create it with New or NewWith; it
 // implements http.Handler.
 type Server struct {
-	mux  *http.ServeMux
-	h    http.Handler // mux wrapped in the obs middleware
-	mgr  *dynamic.Manager
-	net  *nfv.Network
-	reg  *obs.Registry
-	opts core.Options // base solver options, observer attached
+	mux     *http.ServeMux
+	h       http.Handler // mux wrapped in the obs middleware
+	mgr     *dynamic.Manager
+	net     *nfv.Network
+	reg     *obs.Registry
+	opts    core.Options // base solver options, observer attached
+	timeout time.Duration
 }
 
 // New builds a server with default observability (private registry, no
@@ -80,7 +90,7 @@ func NewWith(net *nfv.Network, opts core.Options, cfg Config) *Server {
 		reg = obs.NewRegistry()
 	}
 	opts.Observer = obs.Tee(opts.Observer, cfg.Observer, obs.NewMetricsObserver(reg))
-	s := &Server{mux: http.NewServeMux(), net: net, reg: reg, opts: opts}
+	s := &Server{mux: http.NewServeMux(), net: net, reg: reg, opts: opts, timeout: cfg.SolveTimeout}
 	if net != nil {
 		s.mgr = dynamic.NewManager(net, opts).Instrument(reg)
 	}
@@ -94,7 +104,9 @@ func NewWith(net *nfv.Network, opts core.Options, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionStats)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleRelease)
 	s.mux.HandleFunc("/", s.handleFallback)
-	s.h = obs.Middleware(reg, cfg.Logger, s.mux)
+	// Recover sits inside Middleware so the access log and status-class
+	// counters record the synthesized 500.
+	s.h = obs.Middleware(reg, cfg.Logger, obs.Recover(reg, cfg.Logger, s.mux))
 	return s
 }
 
@@ -115,6 +127,11 @@ type SolveRequest struct {
 	Instance  nfv.InstanceDoc `json:"instance"`
 	Algorithm string          `json:"algorithm,omitempty"` // msa (default), msa1, sca, rsa, bks
 	Seed      int64           `json:"seed,omitempty"`      // rsa only
+	// TimeoutMS asks for a solve deadline in milliseconds. The solver
+	// stops optimizing at the deadline and returns its best feasible
+	// embedding so far (EarlyStop in the response). Capped by the
+	// server's Config.SolveTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // SolveResponse is the body of a successful solve.
@@ -124,6 +141,9 @@ type SolveResponse struct {
 	Cost      nfv.CostBreakdown `json:"cost"`
 	Stage1    float64           `json:"stage1_cost"`
 	Moves     int               `json:"moves_accepted"`
+	// EarlyStop reports that the deadline expired mid-solve; the
+	// embedding is the best feasible one found by then.
+	EarlyStop bool `json:"early_stop,omitempty"`
 }
 
 // ValidateRequest is the body of POST /v1/validate.
@@ -144,6 +164,9 @@ type ValidateResponse struct {
 type AdmitResponse struct {
 	ID   dynamic.SessionID `json:"id"`
 	Cost float64           `json:"cost"`
+	// EarlyStop reports that the admission deadline expired mid-solve;
+	// the session holds the best feasible embedding found by then.
+	EarlyStop bool `json:"early_stop,omitempty"`
 }
 
 type errorBody struct {
@@ -181,14 +204,35 @@ func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, fmt.Errorf("no route for %s %s", r.Method, r.URL.Path))
 }
 
+// solveContext derives the deadline for one solve: the request's
+// timeout_ms (if any) capped by the server-wide SolveTimeout ceiling.
+// The returned cancel must always be called.
+func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	limit := s.timeout
+	if timeoutMS > 0 {
+		asked := time.Duration(timeoutMS) * time.Millisecond
+		if limit <= 0 || asked < limit {
+			limit = asked
+		}
+	}
+	if limit <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, limit)
+}
+
 // runAlgorithm dispatches one stateless solve under the server's base
-// options (observer included, so every solve feeds /metrics).
-func (s *Server) runAlgorithm(req *SolveRequest) (*core.Result, error) {
+// options (observer included, so every solve feeds /metrics). ctx
+// bounds the solve; the two-stage solver stops at the deadline with
+// its best feasible embedding (baselines run to completion).
+func (s *Server) runAlgorithm(ctx context.Context, req *SolveRequest) (*core.Result, error) {
 	net, task := req.Instance.Network, req.Instance.Task
 	if net == nil {
 		return nil, errors.New("request carries no network")
 	}
 	opts := s.opts
+	opts.Ctx = ctx
 	switch req.Algorithm {
 	case "", "msa":
 		return core.Solve(net, task, opts)
@@ -230,7 +274,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := s.runAlgorithm(&req)
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	res, err := s.runAlgorithm(ctx, &req)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, nfv.ErrInvalidTask) {
@@ -249,6 +295,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Cost:      req.Instance.Network.Cost(res.Embedding),
 		Stage1:    res.Stage1Cost,
 		Moves:     res.MovesAccepted,
+		EarlyStop: res.EarlyStop,
 	})
 }
 
@@ -277,7 +324,9 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := s.runAlgorithm(&req)
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	res, err := s.runAlgorithm(ctx, &req)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -301,7 +350,20 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &task) {
 		return
 	}
-	sess, err := s.mgr.Admit(task)
+	// Admissions carry the deadline as ?timeout_ms= (the body is the
+	// bare task); the server ceiling applies either way.
+	var timeoutMS int64
+	if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		ms, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", q))
+			return
+		}
+		timeoutMS = ms
+	}
+	ctx, cancel := s.solveContext(r, timeoutMS)
+	defer cancel()
+	sess, err := s.mgr.AdmitCtx(ctx, task)
 	if err != nil {
 		status := http.StatusConflict
 		if errors.Is(err, nfv.ErrInvalidTask) {
@@ -310,7 +372,11 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, AdmitResponse{ID: sess.ID, Cost: sess.Result.FinalCost})
+	writeJSON(w, http.StatusCreated, AdmitResponse{
+		ID:        sess.ID,
+		Cost:      sess.Result.FinalCost,
+		EarlyStop: sess.Result.EarlyStop,
+	})
 }
 
 func (s *Server) handleSessionStats(w http.ResponseWriter, _ *http.Request) {

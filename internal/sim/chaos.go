@@ -1,0 +1,177 @@
+// Chaos drives the failure-injection/recovery loop end to end: admit a
+// population of multicast sessions on a generated network, replay a
+// seeded fault schedule through the dynamic manager, and after every
+// event re-verify each surviving session against the core validator
+// and the flow-level replay. It is the engine behind `tools.sh chaos`
+// and the resilience acceptance gate: after an arbitrary prefix of
+// faults, every non-degraded session must still hold a valid,
+// deliverable embedding.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sftree/internal/core"
+	"sftree/internal/dynamic"
+	"sftree/internal/faults"
+	"sftree/internal/netgen"
+)
+
+// ChaosConfig parameterizes one chaos run. Everything is seeded, so a
+// run is reproducible bit for bit.
+type ChaosConfig struct {
+	// Nodes sizes the generated network (paper topology, mu=2).
+	Nodes int
+	// Seed drives network generation, task sampling and (when
+	// Schedule is nil) fault-schedule generation.
+	Seed int64
+	// Sessions is the target number of live sessions before faults.
+	Sessions int
+	// Faults is the generated schedule length; ignored when Schedule
+	// is set.
+	Faults int
+	// Schedule, when non-nil, replays a pre-built scenario instead of
+	// generating one.
+	Schedule *faults.Schedule
+}
+
+// ChaosEvent records the repair outcome of one fault event.
+type ChaosEvent struct {
+	Event    string  `json:"event"`
+	Affected int     `json:"affected"`
+	Patched  int     `json:"patched"`
+	Reembeds int     `json:"reembeds"`
+	Degraded int     `json:"degraded"`
+	Delta    float64 `json:"cost_delta"`
+}
+
+// ChaosReport is the outcome of a chaos run.
+type ChaosReport struct {
+	Nodes            int `json:"nodes"`
+	Edges            int `json:"edges"`
+	SessionsAdmitted int `json:"sessions_admitted"`
+	EventsApplied    int `json:"events_applied"`
+	Affected         int `json:"affected"`
+	Patched          int `json:"patched"`
+	Reembeds         int `json:"reembeds"`
+	Degraded         int `json:"degraded"`
+	// RepairsWithReuse counts successful repairs that leaned on at
+	// least one surviving instance.
+	RepairsWithReuse int     `json:"repairs_with_reuse"`
+	CostDelta        float64 `json:"cost_delta"`
+	// ValidationErrors lists every post-event check a non-degraded
+	// session failed: core validator or flow-level replay. Empty on a
+	// healthy run — the acceptance gate asserts exactly that.
+	ValidationErrors []string     `json:"validation_errors,omitempty"`
+	FinalLive        int          `json:"final_live"`
+	FinalDegraded    int          `json:"final_degraded"`
+	Events           []ChaosEvent `json:"events,omitempty"`
+}
+
+// RunChaos executes the full loop: generate, admit, break, repair,
+// verify. It returns an error only on setup problems (bad config,
+// generation failure); repair failures and validation violations are
+// reported in the ChaosReport for the caller to judge.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 40
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 30
+	}
+	if cfg.Faults <= 0 {
+		cfg.Faults = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base, err := netgen.Generate(netgen.PaperConfig(cfg.Nodes, 2), rng)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: generate network: %w", err)
+	}
+	rep := &ChaosReport{Nodes: base.NumNodes(), Edges: base.Graph().NumEdges()}
+
+	mgr := dynamic.NewManager(base, core.Options{})
+	for tries := 0; rep.SessionsAdmitted < cfg.Sessions && tries < cfg.Sessions*10; tries++ {
+		task, err := netgen.GenerateTask(base, rng, 2+rng.Intn(3), 2+rng.Intn(2))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: sample task: %w", err)
+		}
+		if _, err := mgr.Admit(task); err == nil {
+			rep.SessionsAdmitted++
+		}
+	}
+	if rep.SessionsAdmitted < cfg.Sessions {
+		return nil, fmt.Errorf("chaos: admitted only %d of %d sessions", rep.SessionsAdmitted, cfg.Sessions)
+	}
+
+	sched := cfg.Schedule
+	if sched == nil {
+		if sched, err = faults.Generate(base, faults.DefaultGenConfig(cfg.Faults), rng); err != nil {
+			return nil, fmt.Errorf("chaos: generate schedule: %w", err)
+		}
+		sched.Seed = cfg.Seed
+	}
+
+	replayer := faults.NewReplayer(base, sched)
+	for !replayer.Done() {
+		ev, degradedNet, err := replayer.Step(mgr.Network())
+		if err != nil {
+			return nil, fmt.Errorf("chaos: event %d (%v): %w", rep.EventsApplied, ev, err)
+		}
+		rr := mgr.Rebase(degradedNet)
+		rep.EventsApplied++
+		rep.Affected += rr.Affected
+		rep.Patched += rr.Patched
+		rep.Reembeds += rr.Reembeds
+		rep.Degraded += rr.Degraded
+		rep.CostDelta += rr.CostDelta
+		for _, sr := range rr.Sessions {
+			if (sr.Outcome == dynamic.RepairPatched || sr.Outcome == dynamic.RepairReembedded) &&
+				sr.ReusedInstances > 0 {
+				rep.RepairsWithReuse++
+			}
+		}
+		rep.Events = append(rep.Events, ChaosEvent{
+			Event:    ev.String(),
+			Affected: rr.Affected,
+			Patched:  rr.Patched,
+			Reembeds: rr.Reembeds,
+			Degraded: rr.Degraded,
+			Delta:    rr.CostDelta,
+		})
+
+		// Invariant: every non-degraded session holds a valid,
+		// deliverable embedding on the current network.
+		net := mgr.Network()
+		for _, sess := range mgr.Sessions() {
+			if sess.Degraded {
+				continue
+			}
+			emb := sess.Result.Embedding
+			if err := net.ValidateDeployed(emb); err != nil {
+				rep.ValidationErrors = append(rep.ValidationErrors,
+					fmt.Sprintf("event %d (%v): session %d: validate: %v", rep.EventsApplied, ev, sess.ID, err))
+				continue
+			}
+			sim, err := Replay(net, emb)
+			if err != nil {
+				rep.ValidationErrors = append(rep.ValidationErrors,
+					fmt.Sprintf("event %d (%v): session %d: replay: %v", rep.EventsApplied, ev, sess.ID, err))
+				continue
+			}
+			if sim.Delivered != len(emb.Task.Destinations) {
+				rep.ValidationErrors = append(rep.ValidationErrors,
+					fmt.Sprintf("event %d (%v): session %d: delivered %d of %d",
+						rep.EventsApplied, ev, sess.ID, sim.Delivered, len(emb.Task.Destinations)))
+			}
+		}
+	}
+
+	for _, sess := range mgr.Sessions() {
+		rep.FinalLive++
+		if sess.Degraded {
+			rep.FinalDegraded++
+		}
+	}
+	return rep, nil
+}

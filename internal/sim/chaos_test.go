@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"sftree/internal/faults"
+)
+
+// TestChaosAcceptance runs the headline resilience gate at the sizes
+// the acceptance criteria name: >=20 faults over >=30 live sessions,
+// zero validation errors on every non-degraded session after every
+// event, and repairs reusing surviving instances where any exist.
+func TestChaosAcceptance(t *testing.T) {
+	rep, err := RunChaos(ChaosConfig{Nodes: 40, Seed: 7, Sessions: 30, Faults: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsAdmitted < 30 || rep.EventsApplied < 20 {
+		t.Fatalf("undersized run: %d sessions, %d events", rep.SessionsAdmitted, rep.EventsApplied)
+	}
+	for _, ve := range rep.ValidationErrors {
+		t.Error(ve)
+	}
+	if rep.Affected == 0 {
+		t.Fatal("no session was ever affected; the schedule exercised nothing")
+	}
+	if repairs := rep.Patched + rep.Reembeds; repairs > 0 && rep.RepairsWithReuse == 0 {
+		t.Fatalf("%d repairs, none reused a surviving instance", repairs)
+	}
+	if rep.FinalLive != rep.SessionsAdmitted {
+		t.Fatalf("sessions vanished: %d live of %d admitted", rep.FinalLive, rep.SessionsAdmitted)
+	}
+}
+
+// TestChaosIsSeeded: same config, same seed, same report.
+func TestChaosIsSeeded(t *testing.T) {
+	a, err := RunChaos(ChaosConfig{Nodes: 30, Seed: 3, Sessions: 10, Faults: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(ChaosConfig{Nodes: 30, Seed: 3, Sessions: 10, Faults: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Affected != b.Affected || a.Patched != b.Patched || a.Degraded != b.Degraded ||
+		a.CostDelta != b.CostDelta || len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestChaosWithExplicitSchedule replays a caller-supplied scenario.
+func TestChaosWithExplicitSchedule(t *testing.T) {
+	// Build the schedule against the same network RunChaos will
+	// generate (same seed, same config path).
+	probe, err := RunChaos(ChaosConfig{Nodes: 30, Seed: 5, Sessions: 5, Faults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.EventsApplied != 3 {
+		t.Fatalf("probe applied %d events", probe.EventsApplied)
+	}
+	// An explicit empty-ish schedule: no events, nothing breaks.
+	rep, err := RunChaos(ChaosConfig{Nodes: 30, Seed: 5, Sessions: 5, Schedule: &faults.Schedule{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsApplied != 0 || rep.Affected != 0 || len(rep.ValidationErrors) != 0 {
+		t.Fatalf("empty schedule produced activity: %+v", rep)
+	}
+}

@@ -9,6 +9,8 @@
 #   ./tools.sh quick    # vet + gofmt only (skip the race run and smoke)
 #   ./tools.sh obs      # obs smoke only: build cmds, boot sftserve,
 #                       # assert /healthz /readyz /metrics respond
+#   ./tools.sh chaos    # resilience gate only: replay a seeded fault
+#                       # schedule, assert survivors re-validate
 
 set -eu
 
@@ -55,8 +57,23 @@ obs_smoke() {
 	echo "OK (obs smoke)"
 }
 
+# chaos_gate replays the seeded acceptance schedule (20 faults over 30
+# live sessions) through the repair path. sftchaos exits non-zero when
+# any non-degraded session fails validation after a fault, or when
+# repairs never reuse a surviving instance.
+chaos_gate() {
+	echo "==> chaos gate: sftchaos -nodes 40 -sessions 30 -faults 20 -seed 7"
+	go run ./cmd/sftchaos -nodes 40 -sessions 30 -faults 20 -seed 7
+	echo "OK (chaos gate)"
+}
+
 if [ "${1:-}" = "obs" ]; then
 	obs_smoke
+	exit 0
+fi
+
+if [ "${1:-}" = "chaos" ]; then
+	chaos_gate
 	exit 0
 fi
 
@@ -76,8 +93,10 @@ if [ "${1:-}" = "quick" ]; then
 	exit 0
 fi
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -timeout 10m ./..."
+go test -race -timeout 10m ./...
+
+chaos_gate
 
 obs_smoke
 
