@@ -1,0 +1,128 @@
+// Command sftconform runs the differential conformance harness: it
+// generates a seeded, stratified instance corpus, solves every case
+// with the exact references (brute force, ILP), the two-stage
+// algorithm, and the baselines, and cross-checks all of them through
+// the shared invariant validator. It exits non-zero on any violation,
+// which makes it the `tools.sh conformance` gate.
+//
+// Usage:
+//
+//	sftconform -n 200 -seed 1             # full differential run
+//	sftconform -n 40 -seed 1 -faulted=0   # skip the fault-repair variant
+//	sftconform -n 9 -seed 1 -emit internal/conformance/testdata/corpus
+//	sftconform -corpus internal/conformance/testdata/corpus
+//	sftconform -n 200 -json report.json   # machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sftree/internal/conformance/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sftconform:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sftconform", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 40, "corpus cases (round-robin over the stratum grid)")
+		seed     = fs.Int64("seed", 1, "root random seed; the same seed reproduces the run byte for byte")
+		faulted  = fs.Bool("faulted", true, "also replay a seeded fault schedule per case and validate every repair")
+		events   = fs.Int("events", 6, "fault-schedule length for the faulted variant")
+		ilpVars  = fs.Int("ilp-vars", 0, "max ILP model variables (0 = harness default)")
+		ilpLimit = fs.Duration("ilp-time", 0, "per-case ILP time limit (0 = harness default)")
+		emit     = fs.String("emit", "", "write the generated corpus as InstanceDoc JSON files into this directory")
+		corpus   = fs.String("corpus", "", "run on a saved corpus directory instead of generating one")
+		jsonOut  = fs.String("json", "", "write the full report as JSON to this file")
+		quiet    = fs.Bool("q", false, "suppress per-case progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := harness.RunConfig{
+		N: *n, Seed: *seed,
+		Faulted: *faulted, FaultEvents: *events,
+		MaxILPVars: *ilpVars, ILPTimeLimit: *ilpLimit,
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total int) {
+			if done%10 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rsftconform: %d/%d cases", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	var rep *harness.Report
+	var err error
+	switch {
+	case *corpus != "":
+		var cases []*harness.Case
+		if cases, err = harness.LoadCorpus(*corpus); err != nil {
+			return err
+		}
+		rep, err = harness.RunCases(cfg, cases)
+	case *emit != "":
+		var cases []*harness.Case
+		if cases, err = harness.GenerateCorpus(nil, *n, *seed); err != nil {
+			return err
+		}
+		if err = harness.SaveCorpus(*emit, cases); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d corpus files to %s\n", len(cases), *emit)
+		rep, err = harness.RunCases(cfg, cases)
+	default:
+		rep, err = harness.Run(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	printReport(rep, time.Since(start))
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("%d cross-solver violations", len(rep.Violations))
+	}
+	return nil
+}
+
+func printReport(rep *harness.Report, elapsed time.Duration) {
+	fmt.Printf("cases %d · solver runs %d · faulted replays %d · repair checks %d · %s\n\n",
+		rep.Cases, rep.Solves, rep.FaultedRuns, rep.RepairChecks, elapsed.Round(time.Millisecond))
+	fmt.Printf("%-16s %6s %10s %8s %12s %10s %10s\n",
+		"stratum", "cases", "ilp-exact", "brute", "reference", "mean", "max")
+	for _, sr := range rep.Strata {
+		fmt.Printf("%-16s %6d %10d %8d %12s %10.4f %10.4f\n",
+			sr.Stratum, sr.Cases, sr.ILPOptimal, sr.BruteForced, sr.Reference, sr.MeanRatio, sr.MaxRatio)
+	}
+	if len(rep.Violations) == 0 {
+		fmt.Println("\nzero cross-solver violations")
+		return
+	}
+	fmt.Printf("\n%d VIOLATIONS\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Println("  " + v.String())
+	}
+}

@@ -1,0 +1,102 @@
+package conformance
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/nfv"
+)
+
+// validatorFuzzDoc is the fuzz wire format: one instance plus one
+// candidate embedding for it.
+type validatorFuzzDoc struct {
+	Instance  nfv.InstanceDoc `json:"instance"`
+	Embedding *nfv.Embedding  `json:"embedding"`
+}
+
+// corpusSeeds returns the checked-in conformance corpus (see
+// testdata/corpus/README note in EXPERIMENTS.md for regeneration).
+func corpusSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	dir := filepath.Join("testdata", "corpus")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatalf("read corpus dir: %v", err)
+	}
+	var out [][]byte
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			tb.Fatalf("read corpus seed %s: %v", ent.Name(), err)
+		}
+		out = append(out, data)
+	}
+	if len(out) < 8 {
+		tb.Fatalf("corpus holds only %d seeds, want >= 8", len(out))
+	}
+	return out
+}
+
+// FuzzValidator feeds arbitrary (instance, embedding) documents to the
+// shared validator: it must never panic, must return the same verdict
+// as nfv.Validate, and on acceptance its independent cost recount must
+// match the nfv.Cost oracle.
+func FuzzValidator(f *testing.F) {
+	for _, raw := range corpusSeeds(f) {
+		var doc nfv.InstanceDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			f.Fatalf("corpus seed does not decode: %v", err)
+		}
+		res, err := core.Solve(doc.Network, doc.Task, core.Options{})
+		if err != nil {
+			f.Fatalf("corpus seed does not solve: %v", err)
+		}
+		seed, err := json.Marshal(validatorFuzzDoc{Instance: doc, Embedding: res.Embedding})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+		// A corrupted sibling: walk truncated to nothing.
+		bad := res.Embedding.Clone()
+		bad.Walks[0] = nil
+		if seed, err = json.Marshal(validatorFuzzDoc{Instance: doc, Embedding: bad}); err == nil {
+			f.Add(seed)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"instance":{"network":{"nodes":2,"edges":[{"u":0,"v":1,"cost":1}],"catalog":[{"id":0,"name":"a","demand":1}],"servers":[{"node":0,"capacity":2}]},"task":{"source":0,"destinations":[1],"chain":[0]}},"embedding":{"task":{"source":0,"destinations":[1],"chain":[0]},"new_instances":[{"vnf":0,"node":0,"level":1}],"walks":[[{"level":0,"path":[0]},{"level":1,"path":[0,1]}]]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var doc validatorFuzzDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return
+		}
+		if doc.Instance.Network == nil || doc.Embedding == nil {
+			return
+		}
+		net, emb := doc.Instance.Network, doc.Embedding
+		oracleOK := net.Validate(emb) == nil
+		sharedOK := Check(net, emb) == nil
+		if oracleOK != sharedOK {
+			t.Fatalf("verdicts diverge: nfv.Validate ok=%v, conformance.Check ok=%v", oracleOK, sharedOK)
+		}
+		if !sharedOK {
+			return
+		}
+		bd, err := Recount(net, emb)
+		if err != nil {
+			t.Fatalf("accepted embedding failed recount: %v", err)
+		}
+		if oracle := net.Cost(emb); !CostsAgree(bd.Total, oracle.Total) {
+			t.Fatalf("recount %v != cost oracle %v", bd.Total, oracle.Total)
+		}
+		// Stage counts must be well-defined on anything accepted.
+		_ = StageCounts(emb)
+	})
+}

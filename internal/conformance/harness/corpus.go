@@ -1,0 +1,221 @@
+// Package harness is the differential conformance harness: a seeded,
+// stratified instance-corpus generator plus a runner that solves every
+// instance with the exact references (brute force, ILP), the two-stage
+// algorithm, and the baselines, then cross-checks all of them through
+// the shared validator in the parent conformance package. It backs
+// cmd/sftconform and the `tools.sh conformance` gate.
+//
+// It lives in a subpackage so the validator itself stays a leaf that
+// internal/dynamic, internal/sim, and internal/server can import; the
+// harness may depend on every solver without creating a cycle.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"sftree/internal/core"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+	"sftree/internal/topology"
+)
+
+// Stratum identifies one cell of the corpus grid: a topology family
+// crossed with a size, a chain length, and a destination-set size —
+// the stratified-evaluation scheme of the paper's §VI (and of the
+// service-overlay-forest comparisons it cites).
+type Stratum struct {
+	// Family is one of er, waxman, fattree, abilene, geant.
+	Family string `json:"family"`
+	// Nodes sizes the generated families (er, waxman). For fattree it
+	// is the fat-tree arity k (n = 5k^2/4 switches); the fixed
+	// topologies abilene (11) and geant (24) ignore it.
+	Nodes int `json:"nodes"`
+	// ChainLen is the SFC length k of sampled tasks.
+	ChainLen int `json:"chain_len"`
+	// NumDest is the multicast destination-set size |D|.
+	NumDest int `json:"num_dest"`
+}
+
+// Name returns the stratum's stable identifier, e.g. "er16-k3-d3".
+func (s Stratum) Name() string {
+	return fmt.Sprintf("%s%d-k%d-d%d", s.Family, s.Nodes, s.ChainLen, s.NumDest)
+}
+
+// DefaultGrid is the standard corpus grid: every topology family, with
+// at least one stratum small enough for the exact references (brute
+// force and the dense ILP) and one at heuristic-only scale.
+func DefaultGrid() []Stratum {
+	return []Stratum{
+		{Family: "er", Nodes: 8, ChainLen: 2, NumDest: 2},
+		{Family: "er", Nodes: 16, ChainLen: 3, NumDest: 3},
+		{Family: "er", Nodes: 26, ChainLen: 3, NumDest: 4},
+		{Family: "waxman", Nodes: 10, ChainLen: 2, NumDest: 2},
+		{Family: "waxman", Nodes: 20, ChainLen: 3, NumDest: 3},
+		{Family: "fattree", Nodes: 2, ChainLen: 2, NumDest: 2},
+		{Family: "fattree", Nodes: 4, ChainLen: 2, NumDest: 3},
+		{Family: "abilene", Nodes: 11, ChainLen: 2, NumDest: 2},
+		{Family: "geant", Nodes: 24, ChainLen: 3, NumDest: 3},
+	}
+}
+
+// Case is one corpus instance: a network plus a task, tagged with the
+// stratum and seed that reproduce it byte for byte.
+type Case struct {
+	Stratum Stratum
+	Seed    int64
+	Net     *nfv.Network
+	Task    nfv.Task
+}
+
+// Doc wraps the case in the repository's instance interchange format
+// (the same JSON cmd/sftgen emits and the HTTP server accepts).
+func (c *Case) Doc() nfv.InstanceDoc {
+	return nfv.InstanceDoc{Network: c.Net, Task: c.Task}
+}
+
+// FileName is the case's canonical corpus file name; the stratum and
+// seed are recoverable from it (see ParseFileName).
+func (c *Case) FileName() string {
+	return fmt.Sprintf("%s-s%d.json", c.Stratum.Name(), c.Seed)
+}
+
+var corpusName = regexp.MustCompile(`^([a-z]+)(\d+)-k(\d+)-d(\d+)-s(-?\d+)$`)
+
+// ParseFileName inverts FileName.
+func ParseFileName(name string) (Stratum, int64, error) {
+	var s Stratum
+	base := filepath.Base(name)
+	m := corpusName.FindStringSubmatch(base[:len(base)-len(filepath.Ext(base))])
+	if m == nil {
+		return s, 0, fmt.Errorf("harness: %q is not a corpus file name", name)
+	}
+	s.Family = m[1]
+	s.Nodes, _ = strconv.Atoi(m[2])
+	s.ChainLen, _ = strconv.Atoi(m[3])
+	s.NumDest, _ = strconv.Atoi(m[4])
+	seed, err := strconv.ParseInt(m[5], 10, 64)
+	if err != nil {
+		return s, 0, fmt.Errorf("harness: %q: seed: %v", name, err)
+	}
+	return s, seed, nil
+}
+
+// buildNetwork realizes the stratum's topology family and wraps it
+// with the paper's Table I metadata (mu = 2, all nodes servers).
+func buildNetwork(s Stratum, rng *rand.Rand) (*nfv.Network, error) {
+	switch s.Family {
+	case "er":
+		return netgen.Generate(netgen.PaperConfig(s.Nodes, 2), rng)
+	case "waxman":
+		return netgen.GenerateWaxman(netgen.WaxmanConfig{Nodes: s.Nodes},
+			netgen.PaperConfig(s.Nodes, 2), rng)
+	case "fattree":
+		return netgen.FatTree(s.Nodes, netgen.PaperConfig(0, 2), rng)
+	case "abilene":
+		g, coords, _ := topology.Abilene()
+		return netgen.Materialize(g, coords, netgen.PaperConfig(g.NumNodes(), 2), rng)
+	case "geant":
+		g, coords, _ := topology.Geant()
+		return netgen.Materialize(g, coords, netgen.PaperConfig(g.NumNodes(), 2), rng)
+	default:
+		return nil, fmt.Errorf("harness: unknown topology family %q", s.Family)
+	}
+}
+
+// GenerateCase deterministically builds the case (stratum, seed). The
+// sampled task is guaranteed solvable by the two-stage algorithm (the
+// generator redraws the task, never the verdict, until one admits).
+func GenerateCase(s Stratum, seed int64) (*Case, error) {
+	rng := rand.New(rand.NewSource(seed))
+	net, err := buildNetwork(s, rng)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", s.Name(), err)
+	}
+	for attempt := 0; attempt < 32; attempt++ {
+		task, err := netgen.GenerateTask(net, rng, s.NumDest, s.ChainLen)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s seed %d: sample task: %w", s.Name(), seed, err)
+		}
+		if _, err := core.Solve(net, task, core.Options{}); err == nil {
+			return &Case{Stratum: s, Seed: seed, Net: net, Task: task}, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: %s seed %d: no solvable task in 32 draws", s.Name(), seed)
+}
+
+// GenerateCorpus builds n cases round-robin across the grid. Case
+// seeds are derived from the base seed so every case regenerates
+// independently; the same (grid, n, seed) yields the same corpus.
+func GenerateCorpus(grid []Stratum, n int, seed int64) ([]*Case, error) {
+	if len(grid) == 0 {
+		grid = DefaultGrid()
+	}
+	cases := make([]*Case, 0, n)
+	for i := 0; i < n; i++ {
+		s := grid[i%len(grid)]
+		c, err := GenerateCase(s, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}
+
+// SaveCorpus writes each case as an InstanceDoc JSON file under dir,
+// named so the stratum and seed round-trip through the file system.
+func SaveCorpus(dir string, cases []*Case) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, c := range cases {
+		blob, err := json.MarshalIndent(c.Doc(), "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, c.FileName()), append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCorpus reads every corpus file in dir back into cases, in
+// deterministic (sorted) order.
+func LoadCorpus(dir string) ([]*Case, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if !ent.IsDir() && filepath.Ext(ent.Name()) == ".json" {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	cases := make([]*Case, 0, len(names))
+	for _, name := range names {
+		s, seed, err := ParseFileName(name)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var doc nfv.InstanceDoc
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			return nil, fmt.Errorf("harness: decode %s: %w", name, err)
+		}
+		cases = append(cases, &Case{Stratum: s, Seed: seed, Net: doc.Network, Task: doc.Task})
+	}
+	return cases, nil
+}

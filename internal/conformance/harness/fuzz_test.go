@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sftree/internal/baseline"
+	"sftree/internal/conformance"
+	"sftree/internal/core"
+	"sftree/internal/exact"
+	"sftree/internal/ilp"
+	"sftree/internal/nfv"
+	"sftree/internal/sftilp"
+)
+
+// FuzzDifferential feeds arbitrary InstanceDoc JSON to the solver
+// battery: on any instance the decoder accepts and the two-stage
+// algorithm solves, every solver's output must pass the shared
+// validator, every reported cost must match the independent recount,
+// and the ILP optimum (when the instance is small enough to prove one)
+// must lower-bound every heuristic. Seeds are the checked-in corpus.
+func FuzzDifferential(f *testing.F) {
+	dir := filepath.Join("..", "testdata", "corpus")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("read corpus dir: %v", err)
+	}
+	seeds := 0
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		seeds++
+	}
+	if seeds < 8 {
+		f.Fatalf("corpus holds only %d seeds, want >= 8", seeds)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var doc nfv.InstanceDoc
+		if err := json.Unmarshal(data, &doc); err != nil || doc.Network == nil {
+			return
+		}
+		net, task := doc.Network, doc.Task
+		// Bound the work per input: fuzzing explores decode and solver
+		// edge cases, not scale.
+		if net.NumNodes() > 30 || net.Graph().NumEdges() > 120 ||
+			task.K() > 3 || len(task.Destinations) > 4 || net.CatalogSize() > 40 {
+			return
+		}
+		two, err := core.Solve(net, task, core.Options{})
+		if err != nil {
+			return // unsolvable inputs are fine; panics are not
+		}
+		check := func(name string, cost float64, emb *nfv.Embedding) {
+			if err := conformance.Check(net, emb); err != nil {
+				t.Fatalf("%s produced an invalid embedding: %v", name, err)
+			}
+			bd, err := conformance.Recount(net, emb)
+			if err != nil {
+				t.Fatalf("%s: recount: %v", name, err)
+			}
+			if !conformance.CostsAgree(bd.Total, cost) {
+				t.Fatalf("%s reports cost %v, independent recount %v", name, cost, bd.Total)
+			}
+		}
+		check("msa", two.FinalCost, two.Embedding)
+		if err := conformance.CheckStageMonotone(two.Embedding); err != nil {
+			t.Fatalf("two-stage output breaks Theorem 4: %v", err)
+		}
+		if r, err := core.SolveStageOne(net, task, core.Options{}); err == nil {
+			check("msa1", r.FinalCost, r.Embedding)
+		}
+		if r, err := baseline.SCA(net, task, core.Options{}); err == nil {
+			check("sca", r.FinalCost, r.Embedding)
+		}
+		bks, err := exact.BestKnown(net, task)
+		if err != nil {
+			t.Fatalf("best-known failed where two-stage succeeded: %v", err)
+		}
+		check("bks", bks.FinalCost, bks.Embedding)
+		if bks.FinalCost > two.FinalCost*(1+1e-9) {
+			t.Fatalf("best-known %v above two-stage %v", bks.FinalCost, two.FinalCost)
+		}
+		if model, err := sftilp.BuildModel(net, task); err == nil && model.NumVars() <= 220 {
+			res, err := sftilp.SolveExact(net, task, ilp.Options{
+				MaxNodes: 20000, Incumbent: two.FinalCost, HasIncumbent: true,
+			})
+			if err == nil && res.Status == ilp.Optimal {
+				check("ilp", res.Objective, res.Embedding)
+				if res.Objective > bks.FinalCost*(1+1e-6)+1e-9 {
+					t.Fatalf("ILP optimum %v above best-known %v", res.Objective, bks.FinalCost)
+				}
+			}
+		}
+	})
+}

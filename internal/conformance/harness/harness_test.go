@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestDefaultGridCoversEveryFamily(t *testing.T) {
+	want := map[string]bool{"er": false, "waxman": false, "fattree": false, "abilene": false, "geant": false}
+	for _, s := range DefaultGrid() {
+		if _, ok := want[s.Family]; !ok {
+			t.Errorf("grid names unknown family %q", s.Family)
+		}
+		want[s.Family] = true
+	}
+	for fam, seen := range want {
+		if !seen {
+			t.Errorf("grid misses family %q", fam)
+		}
+	}
+}
+
+func TestGenerateCaseDeterministic(t *testing.T) {
+	s := Stratum{Family: "er", Nodes: 12, ChainLen: 2, NumDest: 2}
+	a, err := GenerateCase(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCase(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Task.Source != b.Task.Source || len(a.Task.Destinations) != len(b.Task.Destinations) {
+		t.Fatalf("same seed, different tasks: %+v vs %+v", a.Task, b.Task)
+	}
+	if a.Net.Graph().NumEdges() != b.Net.Graph().NumEdges() {
+		t.Fatalf("same seed, different networks: %d vs %d edges",
+			a.Net.Graph().NumEdges(), b.Net.Graph().NumEdges())
+	}
+}
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cases, err := GenerateCorpus(nil, len(DefaultGrid()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(dir, cases); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(cases) {
+		t.Fatalf("loaded %d cases, saved %d", len(back), len(cases))
+	}
+	byName := make(map[string]*Case, len(cases))
+	for _, c := range cases {
+		byName[c.FileName()] = c
+	}
+	for _, c := range back {
+		orig, ok := byName[c.FileName()]
+		if !ok {
+			t.Fatalf("loaded unexpected case %s", c.FileName())
+		}
+		if c.Stratum != orig.Stratum || c.Seed != orig.Seed {
+			t.Errorf("%s: stratum/seed did not round-trip: %+v seed %d", c.FileName(), c.Stratum, c.Seed)
+		}
+		if c.Task.Source != orig.Task.Source || c.Net.NumNodes() != orig.Net.NumNodes() ||
+			c.Net.Graph().NumEdges() != orig.Net.Graph().NumEdges() {
+			t.Errorf("%s: instance did not round-trip", c.FileName())
+		}
+	}
+}
+
+func TestParseFileNameRejectsGarbage(t *testing.T) {
+	for _, name := range []string{"x.json", "er-k2-d2-s1.json", "er8_k2.json", "README.md"} {
+		if _, _, err := ParseFileName(name); err == nil {
+			t.Errorf("ParseFileName(%q) accepted garbage", name)
+		}
+	}
+}
+
+// TestCheckedInCorpusRunsClean is the in-tree bounded gate: the
+// checked-in fuzz-seed corpus must pass the full differential contract
+// (exact references, cost recounts, Theorem 4, fault repair).
+func TestCheckedInCorpusRunsClean(t *testing.T) {
+	cases, err := LoadCorpus(filepath.Join("..", "testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 8 {
+		t.Fatalf("checked-in corpus holds %d cases, want >= 8", len(cases))
+	}
+	rep, err := RunCases(RunConfig{Seed: 1, Faulted: true}, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases != len(cases) || rep.Solves == 0 {
+		t.Fatalf("report covered %d cases / %d solves", rep.Cases, rep.Solves)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	for _, sr := range rep.Strata {
+		if sr.ratioN > 0 && sr.MeanRatio < 1-1e-6 {
+			t.Errorf("%s: mean ratio %v below 1 — reference is not a lower bound", sr.Stratum, sr.MeanRatio)
+		}
+	}
+}
+
+func TestDifferentialRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential run in -short mode")
+	}
+	rep, err := Run(RunConfig{N: 6, Seed: 42, Faulted: true, FaultEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.FaultedRuns == 0 {
+		t.Error("faulted variant never ran")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sftree/internal/conformance"
 	"sftree/internal/core"
 	"sftree/internal/graph"
 	"sftree/internal/nfv"
@@ -138,7 +139,7 @@ func (m *Manager) repairSession(sess *Session) SessionRepair {
 	}
 	var severed, intact []int // indices into emb.Task.Destinations
 	for di := range emb.Task.Destinations {
-		if m.walkBroken(emb, di) {
+		if conformance.WalkBroken(m.net, emb, di) {
 			severed = append(severed, di)
 		} else {
 			intact = append(intact, di)
@@ -191,26 +192,6 @@ func (m *Manager) repairSession(sess *Session) SessionRepair {
 	// Last rung: degrade — keep only the intact walks.
 	m.degrade(sess, emb, intact, severed, &sr)
 	return sr
-}
-
-// walkBroken reports whether destination di's walk traverses a failed
-// link or a serving node that lost its instance. Callers hold m.mu.
-func (m *Manager) walkBroken(emb *nfv.Embedding, di int) bool {
-	k := emb.Task.K()
-	for j, seg := range emb.Walks[di] {
-		for i := 1; i < len(seg.Path); i++ {
-			if _, ok := m.net.Graph().HasEdge(seg.Path[i-1], seg.Path[i]); !ok {
-				return true
-			}
-		}
-		if j < k {
-			host := seg.Path[len(seg.Path)-1]
-			if !m.net.IsDeployed(emb.Task.Chain[j], host) {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // tryPatch attempts the incremental repair: solve a sub-task covering
@@ -299,7 +280,7 @@ func (m *Manager) degrade(sess *Session, emb *nfv.Embedding, intact, severed []i
 // caller falls through to the next repair rung.
 func (m *Manager) commitRepair(sess *Session, merged *nfv.Embedding, fresh []nfv.Instance, sr *SessionRepair) bool {
 	cost := m.net.Cost(merged).Total
-	if err := m.net.ValidateDeployed(merged); err != nil {
+	if err := conformance.CheckLive(m.net, merged); err != nil {
 		sr.Err = fmt.Sprintf("validate: %v", err)
 		return false
 	}

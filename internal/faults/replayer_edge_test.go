@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sftree/internal/netgen"
+)
+
+// TestReplayerEmptySchedule: a zero-event scenario is legal — the
+// replayer is born done, and stepping it reports schedule exhaustion
+// rather than panicking or fabricating events.
+func TestReplayerEmptySchedule(t *testing.T) {
+	base := testNet(t)
+	r := NewReplayer(base, &Schedule{})
+	if !r.Done() || r.Remaining() != 0 {
+		t.Fatalf("empty schedule: done=%v remaining=%d", r.Done(), r.Remaining())
+	}
+	if _, _, err := r.Step(base); !errors.Is(err, ErrBadSchedule) {
+		t.Fatalf("step on empty schedule: err=%v, want ErrBadSchedule", err)
+	}
+	if r.State().DownLinks() != 0 || r.State().DownNodes() != 0 {
+		t.Fatal("empty schedule accumulated fault state")
+	}
+}
+
+// TestReplayerDuplicateDownIsIdempotent: downing the same element
+// twice must not double-count it — one recovery heals it fully.
+func TestReplayerDuplicateDownIsIdempotent(t *testing.T) {
+	base := testNet(t)
+	sched := &Schedule{Events: []Event{
+		{Kind: LinkDown, U: 1, V: 3},
+		{Kind: LinkDown, U: 1, V: 3}, // duplicate
+		{Kind: NodeDown, Node: 2},
+		{Kind: NodeDown, Node: 2}, // duplicate
+	}}
+	r := NewReplayer(base, sched)
+	cur := base
+	for !r.Done() {
+		var err error
+		if _, cur, err = r.Step(cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.State().DownLinks(); got != 1 {
+		t.Fatalf("down links after duplicate downs = %d, want 1", got)
+	}
+	if got := r.State().DownNodes(); got != 1 {
+		t.Fatalf("down nodes after duplicate downs = %d, want 1", got)
+	}
+	// One up each heals everything.
+	for _, ev := range []Event{{Kind: LinkUp, U: 1, V: 3}, {Kind: NodeUp, Node: 2}} {
+		if err := r.State().Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.State().DownLinks() != 0 || r.State().DownNodes() != 0 {
+		t.Fatalf("recovery after duplicate downs left %d links, %d nodes down",
+			r.State().DownLinks(), r.State().DownNodes())
+	}
+	net, err := r.State().Materialize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph().NumEdges() != base.Graph().NumEdges() {
+		t.Fatalf("healed network has %d edges, base %d", net.Graph().NumEdges(), base.Graph().NumEdges())
+	}
+}
+
+// TestReplayerUpBeforeDown: recovering an element that was never down
+// applies cleanly (idempotent no-op) and leaves the substrate whole.
+func TestReplayerUpBeforeDown(t *testing.T) {
+	base := testNet(t)
+	sched := &Schedule{Events: []Event{
+		{Kind: LinkUp, U: 0, V: 1},
+		{Kind: NodeUp, Node: 1},
+		{Kind: LinkDown, U: 1, V: 3},
+	}}
+	r := NewReplayer(base, sched)
+	cur := base
+	steps := 0
+	for !r.Done() {
+		var err error
+		if _, cur, err = r.Step(cur); err != nil {
+			t.Fatalf("step %d: %v", steps, err)
+		}
+		steps++
+	}
+	if steps != 3 {
+		t.Fatalf("applied %d events, want 3", steps)
+	}
+	if got := r.State().DownLinks(); got != 1 {
+		t.Fatalf("down links = %d, want only the real fault", got)
+	}
+	// The spurious ups must not have resurrected or duplicated anything.
+	if cur.Graph().NumEdges() != base.Graph().NumEdges()-1 {
+		t.Fatalf("degraded network has %d edges, want %d", cur.Graph().NumEdges(), base.Graph().NumEdges()-1)
+	}
+	// An up for a link absent from the base network is still an error.
+	if err := r.State().Apply(Event{Kind: LinkUp, U: 0, V: 3}); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("up for a non-existent link: err=%v, want ErrBadEvent", err)
+	}
+}
+
+// TestScheduleRoundTripThroughReplayer: a generated schedule survives
+// Save/Load byte-for-byte, and replaying the loaded copy reproduces
+// the original's fault state exactly.
+func TestScheduleRoundTripThroughReplayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net, err := netgen.Generate(netgen.PaperConfig(24, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Generate(net, DefaultGenConfig(30), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Seed = 3
+	var buf bytes.Buffer
+	if err := sched.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != sched.Seed || len(loaded.Events) != len(sched.Events) {
+		t.Fatalf("round trip lost data: %d events seed %d", len(loaded.Events), loaded.Seed)
+	}
+	for i := range sched.Events {
+		if loaded.Events[i] != sched.Events[i] {
+			t.Fatalf("event %d changed in round trip: %+v != %+v", i, loaded.Events[i], sched.Events[i])
+		}
+	}
+	a, b := NewReplayer(net, sched), NewReplayer(net, loaded)
+	curA, curB := net, net
+	for !a.Done() {
+		if _, curA, err = a.Step(curA); err != nil {
+			t.Fatal(err)
+		}
+		if _, curB, err = b.Step(curB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Done() {
+		t.Fatal("loaded replay finished early")
+	}
+	if a.State().DownLinks() != b.State().DownLinks() || a.State().DownNodes() != b.State().DownNodes() {
+		t.Fatalf("replays diverged: %d/%d links, %d/%d nodes down",
+			a.State().DownLinks(), b.State().DownLinks(), a.State().DownNodes(), b.State().DownNodes())
+	}
+	if curA.Graph().NumEdges() != curB.Graph().NumEdges() {
+		t.Fatalf("materialized networks diverged: %d vs %d edges",
+			curA.Graph().NumEdges(), curB.Graph().NumEdges())
+	}
+}

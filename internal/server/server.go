@@ -27,12 +27,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
 
 	"sftree/internal/baseline"
+	"sftree/internal/conformance"
 	"sftree/internal/core"
 	"sftree/internal/dynamic"
 	"sftree/internal/exact"
@@ -204,6 +206,22 @@ func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, fmt.Errorf("no route for %s %s", r.Method, r.URL.Path))
 }
 
+// maxTimeoutMS is the largest timeout_ms that still converts to a
+// time.Duration without overflowing.
+const maxTimeoutMS = math.MaxInt64 / int64(time.Millisecond)
+
+// checkTimeoutMS rejects timeout_ms values solveContext could not
+// honor: negatives and values whose millisecond conversion overflows.
+func checkTimeoutMS(ms int64) error {
+	if ms < 0 {
+		return fmt.Errorf("negative timeout_ms %d", ms)
+	}
+	if ms > maxTimeoutMS {
+		return fmt.Errorf("timeout_ms %d overflows (max %d)", ms, maxTimeoutMS)
+	}
+	return nil
+}
+
 // solveContext derives the deadline for one solve: the request's
 // timeout_ms (if any) capped by the server-wide SolveTimeout ceiling.
 // The returned cancel must always be called.
@@ -274,6 +292,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if err := checkTimeoutMS(req.TimeoutMS); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	ctx, cancel := s.solveContext(r, req.TimeoutMS)
 	defer cancel()
 	res, err := s.runAlgorithm(ctx, &req)
@@ -309,7 +331,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := ValidateResponse{Valid: true}
-	if err := req.Instance.Network.Validate(req.Embedding); err != nil {
+	if err := conformance.Check(req.Instance.Network, req.Embedding); err != nil {
 		resp.Valid = false
 		resp.Reason = err.Error()
 	} else {
@@ -322,6 +344,10 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := checkTimeoutMS(req.TimeoutMS); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := s.solveContext(r, req.TimeoutMS)
@@ -355,8 +381,12 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	var timeoutMS int64
 	if q := r.URL.Query().Get("timeout_ms"); q != "" {
 		ms, err := strconv.ParseInt(q, 10, 64)
-		if err != nil || ms < 0 {
+		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", q))
+			return
+		}
+		if err := checkTimeoutMS(ms); err != nil {
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		timeoutMS = ms

@@ -1,8 +1,8 @@
 // Chaos drives the failure-injection/recovery loop end to end: admit a
 // population of multicast sessions on a generated network, replay a
 // seeded fault schedule through the dynamic manager, and after every
-// event re-verify each surviving session against the core validator
-// and the flow-level replay. It is the engine behind `tools.sh chaos`
+// event re-verify each surviving session against the shared
+// conformance validator and the flow-level replay. It is the engine behind `tools.sh chaos`
 // and the resilience acceptance gate: after an arbitrary prefix of
 // faults, every non-degraded session must still hold a valid,
 // deliverable embedding.
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sftree/internal/conformance"
 	"sftree/internal/core"
 	"sftree/internal/dynamic"
 	"sftree/internal/faults"
@@ -61,8 +62,8 @@ type ChaosReport struct {
 	RepairsWithReuse int     `json:"repairs_with_reuse"`
 	CostDelta        float64 `json:"cost_delta"`
 	// ValidationErrors lists every post-event check a non-degraded
-	// session failed: core validator or flow-level replay. Empty on a
-	// healthy run — the acceptance gate asserts exactly that.
+	// session failed: conformance validator or flow-level replay.
+	// Empty on a healthy run — the acceptance gate asserts exactly that.
 	ValidationErrors []string     `json:"validation_errors,omitempty"`
 	FinalLive        int          `json:"final_live"`
 	FinalDegraded    int          `json:"final_degraded"`
@@ -148,7 +149,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 				continue
 			}
 			emb := sess.Result.Embedding
-			if err := net.ValidateDeployed(emb); err != nil {
+			if err := conformance.CheckLive(net, emb); err != nil {
 				rep.ValidationErrors = append(rep.ValidationErrors,
 					fmt.Sprintf("event %d (%v): session %d: validate: %v", rep.EventsApplied, ev, sess.ID, err))
 				continue

@@ -5,12 +5,18 @@
 # observability smoke test. CI and pre-commit should both call this;
 # it exits non-zero on the first failure.
 #
-#   ./tools.sh          # vet + gofmt + race tests + obs smoke
+#   ./tools.sh          # vet + gofmt + race tests + chaos + conformance + obs
 #   ./tools.sh quick    # vet + gofmt only (skip the race run and smoke)
 #   ./tools.sh obs      # obs smoke only: build cmds, boot sftserve,
 #                       # assert /healthz /readyz /metrics respond
 #   ./tools.sh chaos    # resilience gate only: replay a seeded fault
 #                       # schedule, assert survivors re-validate
+#   ./tools.sh conformance [seed]
+#                       # differential gate only: bounded stratified
+#                       # corpus under -race, cross-checking every
+#                       # solver through the shared validator. The seed
+#                       # (default 1) makes failures reproduce
+#                       # byte-for-byte: rerun with the printed seed.
 
 set -eu
 
@@ -67,6 +73,23 @@ chaos_gate() {
 	echo "OK (chaos gate)"
 }
 
+# conformance_gate runs the differential harness on a bounded corpus
+# under the race detector: every instance solved by brute force, ILP,
+# the two-stage algorithm and the baselines, all cross-checked through
+# internal/conformance. Deterministic: the same seed reproduces the
+# same corpus, solver calls, and fault schedules.
+conformance_gate() {
+	seed="${1:-1}"
+	echo "==> conformance gate: sftconform -n 45 -seed $seed (race)"
+	go run -race ./cmd/sftconform -n 45 -seed "$seed" -q
+	echo "OK (conformance gate, seed $seed)"
+}
+
+if [ "${1:-}" = "conformance" ]; then
+	conformance_gate "${2:-1}"
+	exit 0
+fi
+
 if [ "${1:-}" = "obs" ]; then
 	obs_smoke
 	exit 0
@@ -97,6 +120,8 @@ echo "==> go test -race -timeout 10m ./..."
 go test -race -timeout 10m ./...
 
 chaos_gate
+
+conformance_gate "${CONFORM_SEED:-1}"
 
 obs_smoke
 
