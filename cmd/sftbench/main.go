@@ -8,9 +8,11 @@
 //	sftbench -fig ablations           # design-choice ablations
 //	sftbench -fig 8 -csv out/         # also write out/fig8.csv
 //	sftbench -json BENCH_core.json    # hot-path micro-benchmarks as JSON
+//	sftbench -gate BENCH_core.json    # fail on perf regressions vs baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,12 +40,16 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 1, "concurrent trials per point (>1 makes timing columns noisy)")
 		chart    = fs.Bool("chart", false, "also draw ASCII bar charts of the cost series")
 		jsonOut  = fs.String("json", "", "run the hot-path micro-benchmark suite and write its JSON report to this file (skips figures)")
+		gateIn   = fs.String("gate", "", "re-measure the gate benchmarks and fail on regressions against this baseline JSON report (skips figures)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonOut != "" {
 		return runBenchSuite(*jsonOut)
+	}
+	if *gateIn != "" {
+		return runGate(*gateIn)
 	}
 	cfg := experiments.Config{Trials: *trials, Seed: *seed, WithReference: *ref, Parallel: *parallel}
 
@@ -120,5 +126,24 @@ func runBenchSuite(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runGate loads the checked-in baseline report and re-measures the
+// gate benchmarks against it (best of three each), exiting non-zero
+// on a >5% ns/op or >10% allocs/op regression.
+func runGate(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	var baseline benchsuite.Report
+	if err := json.Unmarshal(buf, &baseline); err != nil {
+		return fmt.Errorf("gate baseline %s: %w", path, err)
+	}
+	if err := benchsuite.Gate(&baseline); err != nil {
+		return err
+	}
+	fmt.Printf("perf gate passed against %s (%v)\n", path, benchsuite.GateBenches)
 	return nil
 }

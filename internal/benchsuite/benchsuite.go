@@ -17,10 +17,12 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"sftree/internal/core"
+	"sftree/internal/faults"
 	"sftree/internal/netgen"
 	"sftree/internal/nfv"
 	"sftree/internal/obs"
@@ -30,7 +32,10 @@ import (
 // Bench is one named, self-contained benchmark.
 type Bench struct {
 	Name string
-	F    func(b *testing.B)
+	// Parallelism is the core.Options.Parallelism the benchmark runs
+	// with (0 = sequential), recorded in its Result.
+	Parallelism int
+	F           func(b *testing.B)
 }
 
 // Result is the measured outcome of one benchmark.
@@ -40,14 +45,21 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Parallelism is the solver worker-pool setting the benchmark used
+	// (0 = sequential sweep); variants of the same benchmark differ
+	// only in this knob.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Report is the JSON document written to BENCH_core.json.
 type Report struct {
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	NumCPU     int      `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the scheduler width the suite ran under; parallel
+	// benchmark variants cannot beat the sequential ones when it is 1.
+	GoMaxProcs int      `json:"gomaxprocs"`
 	Generated  string   `json:"generated"`
 	Benchmarks []Result `json:"benchmarks"`
 	// SolverPhases is the phase-timing breakdown of one observed
@@ -55,6 +67,11 @@ type Report struct {
 	// regressions in the benchmarks above can be attributed to a
 	// phase without re-profiling.
 	SolverPhases *obs.Breakdown `json:"solver_phases,omitempty"`
+	// SolverPhasesWarm is the same breakdown for a second solve on the
+	// already-warm network: its apsp_build_ns is zero by construction
+	// (the metric closure is cached and generation-valid), which is
+	// the acceptance signal for metric reuse.
+	SolverPhasesWarm *obs.Breakdown `json:"solver_phases_warm,omitempty"`
 }
 
 // benchInstance regenerates the standard mid-size benchmark instance
@@ -74,19 +91,63 @@ func benchInstance(nodes, dests, chain int) (*nfv.Network, nfv.Task, error) {
 }
 
 // solveBench wraps an end-to-end solve of the standard instance.
-func solveBench(opts core.Options) (Bench, error) {
+func solveBench(name string, opts core.Options) (Bench, error) {
 	net, task, err := benchInstance(100, 10, 5)
 	if err != nil {
 		return Bench{}, err
 	}
-	name := "SolveTwoStage100"
-	if opts.NaiveRecost {
-		name = "SolveTwoStage100Naive"
-	}
-	return Bench{Name: name, F: func(b *testing.B) {
+	return Bench{Name: name, Parallelism: opts.Parallelism, F: func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Solve(net, task, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}, nil
+}
+
+// warmMetricBench measures a full degraded-substrate solve cycle on a
+// warm metric: every iteration re-materializes the same degraded
+// topology through faults.State and solves on the fresh network. The
+// per-signature metric cache hands each materialization the same APSP
+// closure, so no iteration after the first pays a metric build — the
+// benchmark isolates exactly what Rebase-style re-solving costs once
+// APSP is off the critical path.
+func warmMetricBench() (Bench, error) {
+	net, task, err := benchInstance(100, 10, 5)
+	if err != nil {
+		return Bench{}, err
+	}
+	st := faults.NewState(net)
+	// Fail the first link whose loss keeps the instance solvable, so
+	// the degraded (cache-backed) supplier path is the one measured.
+	ok := false
+	for id := 0; id < net.Graph().NumEdges() && !ok; id++ {
+		e := net.Graph().Edge(id)
+		if err := st.Apply(faults.Event{Kind: faults.LinkDown, U: e.U, V: e.V}); err != nil {
+			continue
+		}
+		if deg, err := st.Materialize(net); err == nil {
+			if _, err := core.Solve(deg, task, core.Options{}); err == nil {
+				ok = true
+				break
+			}
+		}
+		if err := st.Apply(faults.Event{Kind: faults.LinkUp, U: e.U, V: e.V}); err != nil {
+			return Bench{}, err
+		}
+	}
+	if !ok {
+		return Bench{}, fmt.Errorf("benchsuite: no single link failure keeps the instance solvable")
+	}
+	return Bench{Name: "SolveWarmMetric100", F: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			deg, err := st.Materialize(net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Solve(deg, task, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -163,16 +224,47 @@ func SolverPhases() (*obs.Breakdown, error) {
 	return &b, nil
 }
 
+// SolverPhasesWarm runs the instrumented solve against a network whose
+// metric closure is already cached, returning a breakdown whose
+// apsp_build_ns is zero: the generation-stamped cache satisfies the
+// metric lookup without an APSP build.
+func SolverPhasesWarm() (*obs.Breakdown, error) {
+	net, task, err := benchInstance(100, 10, 5) // warms the metric
+	if err != nil {
+		return nil, err
+	}
+	rec := &obs.SpanRecorder{}
+	if _, err := core.Solve(net, task, core.Options{Observer: rec}); err != nil {
+		return nil, fmt.Errorf("benchsuite: warm phase solve: %w", err)
+	}
+	b := rec.Breakdown()
+	return &b, nil
+}
+
 // Suite assembles the full benchmark list.
 func Suite() ([]Bench, error) {
 	var out []Bench
-	for _, opts := range []core.Options{{}, {NaiveRecost: true}} {
-		b, err := solveBench(opts)
+	solves := []struct {
+		name string
+		opts core.Options
+	}{
+		{"SolveTwoStage100", core.Options{}},
+		{"SolveTwoStage100Par2", core.Options{Parallelism: 2}},
+		{"SolveTwoStage100Par8", core.Options{Parallelism: 8}},
+		{"SolveTwoStage100Naive", core.Options{NaiveRecost: true}},
+	}
+	for _, s := range solves {
+		b, err := solveBench(s.name, s.opts)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, b)
 	}
+	wb, err := warmMetricBench()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, wb)
 	specs := []struct {
 		name string
 		mk   func(*nfv.Network, nfv.Task, core.Options) (func() error, error)
@@ -215,14 +307,15 @@ func Run() ([]Result, error) {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Parallelism: bench.Parallelism,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
 }
 
-// NewReport runs the suite plus one instrumented solve and wraps the
-// results with environment metadata.
+// NewReport runs the suite plus the instrumented cold and warm solves
+// and wraps the results with environment metadata.
 func NewReport() (*Report, error) {
 	results, err := Run()
 	if err != nil {
@@ -232,15 +325,89 @@ func NewReport() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	warm, err := SolverPhasesWarm()
+	if err != nil {
+		return nil, err
+	}
 	return &Report{
-		GoVersion:    runtime.Version(),
-		GOOS:         runtime.GOOS,
-		GOARCH:       runtime.GOARCH,
-		NumCPU:       runtime.NumCPU(),
-		Generated:    time.Now().UTC().Format(time.RFC3339),
-		Benchmarks:   results,
-		SolverPhases: phases,
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		NumCPU:           runtime.NumCPU(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		Benchmarks:       results,
+		SolverPhases:     phases,
+		SolverPhasesWarm: warm,
 	}, nil
+}
+
+// GateBenches names the benchmarks the regression gate re-measures:
+// the end-to-end solver, the stage-two pass, and the warm-metric
+// re-solve cycle.
+var GateBenches = []string{"SolveTwoStage100", "OPAPass", "SolveWarmMetric100"}
+
+// Gate thresholds: a gate benchmark may regress at most this much
+// against the checked-in baseline before the gate fails.
+const (
+	GateMaxNsRegression     = 1.05 // >5% ns/op fails
+	GateMaxAllocsRegression = 1.10 // >10% allocs/op fails
+)
+
+// Gate re-measures the gate benchmarks (best of three runs each, to
+// shed scheduler noise) and compares them against the baseline
+// report. It returns an error naming every benchmark that regressed
+// beyond the thresholds, or whose baseline entry is missing —
+// regenerate BENCH_core.json after intentional perf changes.
+func Gate(baseline *Report) error {
+	benches, err := Suite()
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]Bench, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	var problems []string
+	for _, name := range GateBenches {
+		b, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("benchsuite: gate benchmark %q not in suite", name)
+		}
+		bl, ok := base[name]
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s: no baseline entry (regenerate BENCH_core.json)", name))
+			continue
+		}
+		bestNs, bestAllocs := float64(-1), int64(-1)
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(b.F)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if bestNs < 0 || ns < bestNs {
+				bestNs = ns
+			}
+			if a := r.AllocsPerOp(); bestAllocs < 0 || a < bestAllocs {
+				bestAllocs = a
+			}
+		}
+		if bestNs > bl.NsPerOp*GateMaxNsRegression {
+			problems = append(problems, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit %.0f%%)",
+				name, bestNs, bl.NsPerOp, 100*(bestNs/bl.NsPerOp-1), 100*(GateMaxNsRegression-1)))
+		}
+		if bl.AllocsPerOp > 0 && float64(bestAllocs) > float64(bl.AllocsPerOp)*GateMaxAllocsRegression {
+			problems = append(problems, fmt.Sprintf("%s: %d allocs/op vs baseline %d (+%.1f%%, limit %.0f%%)",
+				name, bestAllocs, bl.AllocsPerOp, 100*(float64(bestAllocs)/float64(bl.AllocsPerOp)-1), 100*(GateMaxAllocsRegression-1)))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("benchsuite: perf regression gate failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
 }
 
 // MarshalReport renders the report as indented JSON with a trailing

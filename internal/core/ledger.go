@@ -22,19 +22,24 @@ import (
 //     link-cost sum with exactly the multicast deduplication the cost
 //     oracle applies.
 //
+// Both ref-count families live in flat arrays, not maps: instance
+// slots are indexed vnf*n+node, edge slots level*arcs+arc where arc
+// is the canonical CSR arc for the directed hop. Map hashing was the
+// single largest line item in the move-evaluation profile; the flat
+// layout removes it and lets a revert run as plain stores.
+//
 // A move touches only its group's segments, so applying it updates
 // O(|group| * path length) counters instead of recosting the world.
 // Every mutation is recorded in a journal; rejecting a move reverts
 // the journal, restoring the running sums bit-for-bit from snapshots.
-// The naive path is preserved (Options.NaiveRecost, state.cost) and
-// the two are asserted equivalent in equivalence_test.go.
+// Journals are pooled on the ledger (releaseJournal) so steady-state
+// move evaluation allocates nothing. The naive path is preserved
+// (Options.NaiveRecost, state.cost) and the two are asserted
+// equivalent in equivalence_test.go.
 
-// instKey identifies a (vnf, node) instance slot in the ledger.
-type instKey struct{ vnf, node int }
-
-// stageEdge mirrors the cost oracle's deduplication key: an edge
-// carries one flow copy per chain stage regardless of fan-out. The
-// edge is directed, exactly as nfv.Network.Cost counts it.
+// stageEdge identifies a (stage, directed edge) traversal that does
+// not correspond to a graph edge; such walks are priced +Inf and kept
+// in the ledger's overflow map, which is empty in normal operation.
 type stageEdge struct {
 	level int
 	u, v  int
@@ -43,15 +48,22 @@ type stageEdge struct {
 // ledger is the incremental mirror of objective (1a) for one state.
 type ledger struct {
 	metric *graph.Metric
-	// edgeCost caches the cheapest parallel edge cost per canonical
-	// node pair; missing pairs are non-edges (priced +Inf by the cost
-	// oracle).
-	edgeCost map[[2]int]float64
+	// csr is the substrate graph in CSR form; arc positions double as
+	// canonical directed-edge ids, and csr.Cost prices traversals (the
+	// cheapest parallel arc is chosen as canonical, so pricing matches
+	// the cost oracle's cheapest-parallel-edge rule).
+	csr  *graph.CSR
+	arcs int
+	n    int
+	// edgeRef counts walk traversals per (stage, directed edge):
+	// index level*arcs + arc, levels 0..k (k is the tail level).
+	edgeRef []int32
+	// badRef is the overflow for traversals with no underlying edge.
+	badRef map[stageEdge]int
 	// instRef counts (destination, level) subscriptions per new
-	// instance; pre-deployed instances are never entered.
-	instRef map[instKey]int
-	// edgeRef counts walk traversals per (stage, directed edge).
-	edgeRef map[stageEdge]int
+	// instance, indexed vnf*n + node; pre-deployed instances are never
+	// entered.
+	instRef []int32
 	// usedCap and freeBase cache per-node capacity state: freeBase is
 	// the network's free capacity (constant while solving), usedCap
 	// the demand consumed by current new instances.
@@ -65,6 +77,8 @@ type ledger struct {
 	// infEdges counts referenced (stage, edge) pairs that are not
 	// graph edges; the oracle prices such walks at +Inf.
 	infEdges int
+	// jrFree recycles journals across moves; see releaseJournal.
+	jrFree []*journal
 }
 
 // journal records every ledger and state mutation of one move so it
@@ -73,8 +87,9 @@ type ledger struct {
 type journal struct {
 	serve    []journalServe
 	tails    []journalTail
-	edges    []journalEdge
-	insts    []journalInst
+	edges    []journalRef
+	insts    []journalRef
+	bad      []journalBad
 	caps     []journalCap
 	setupSum float64
 	linkSum  float64
@@ -89,19 +104,31 @@ type journalTail struct {
 	old []int
 }
 
-type journalEdge struct {
-	key stageEdge
-	old int
-}
+// journalRef restores one flat ref-count slot (edgeRef or instRef).
+type journalRef struct{ idx, old int32 }
 
-type journalInst struct {
-	key instKey
+type journalBad struct {
+	key stageEdge
 	old int
 }
 
 type journalCap struct {
 	node int
 	old  float64
+}
+
+// reset truncates the journal for reuse, dropping tail references so
+// pooled journals do not pin dead tail slices.
+func (jr *journal) reset() {
+	jr.serve = jr.serve[:0]
+	for i := range jr.tails {
+		jr.tails[i].old = nil
+	}
+	jr.tails = jr.tails[:0]
+	jr.edges = jr.edges[:0]
+	jr.insts = jr.insts[:0]
+	jr.bad = jr.bad[:0]
+	jr.caps = jr.caps[:0]
 }
 
 // ensureLedger builds the ledger from the current assignment if the
@@ -111,25 +138,24 @@ func (s *state) ensureLedger() {
 		return
 	}
 	metric := s.net.Metric()
+	csr := s.net.Graph().CSR()
+	n := s.net.NumNodes()
+	k := s.task.K()
 	led := &ledger{
 		metric:   metric,
-		edgeCost: make(map[[2]int]float64, s.net.Graph().NumEdges()),
-		instRef:  make(map[instKey]int),
-		edgeRef:  make(map[stageEdge]int),
-		usedCap:  make([]float64, s.net.NumNodes()),
-		freeBase: make([]float64, s.net.NumNodes()),
+		csr:      csr,
+		arcs:     csr.NumArcs(),
+		n:        n,
+		edgeRef:  make([]int32, (k+1)*csr.NumArcs()),
+		badRef:   make(map[stageEdge]int),
+		instRef:  make([]int32, s.net.CatalogSize()*n),
+		usedCap:  make([]float64, n),
+		freeBase: make([]float64, n),
 	}
-	for _, e := range s.net.Graph().Edges() {
-		key := edgeKey(e.U, e.V)
-		if c, ok := led.edgeCost[key]; !ok || e.Cost < c {
-			led.edgeCost[key] = e.Cost
-		}
-	}
-	for _, v := range s.net.Servers() {
+	for _, v := range s.net.ServerList() {
 		led.freeBase[v] = s.net.FreeCapacity(v)
 	}
 	s.led = led
-	k := s.task.K()
 	for di := range s.serve {
 		for j := 1; j <= k; j++ {
 			s.ledgerAddInstance(s.task.Chain[j-1], s.serve[di][j], nil)
@@ -159,14 +185,32 @@ func (s *state) totalCost() (float64, error) {
 	return s.led.setupSum + s.led.linkSum, nil
 }
 
-// snapshot starts a journal for one move.
+// snapshot starts a journal for one move, reusing a pooled one when
+// available. Callers that are done with a journal — after revert, or
+// once an accepted move is final — should hand it back with
+// releaseJournal so steady-state move evaluation allocates nothing.
 func (s *state) snapshot() *journal {
 	led := s.led
-	return &journal{
-		setupSum: led.setupSum,
-		linkSum:  led.linkSum,
-		broken:   led.brokenSegs,
-		infEdges: led.infEdges,
+	var jr *journal
+	if n := len(led.jrFree); n > 0 {
+		jr = led.jrFree[n-1]
+		led.jrFree = led.jrFree[:n-1]
+		jr.reset()
+	} else {
+		jr = new(journal)
+	}
+	jr.setupSum = led.setupSum
+	jr.linkSum = led.linkSum
+	jr.broken = led.brokenSegs
+	jr.infEdges = led.infEdges
+	return jr
+}
+
+// releaseJournal returns jr to the ledger's free list. The journal
+// must not be used (in particular, reverted) afterwards.
+func (s *state) releaseJournal(jr *journal) {
+	if s.led != nil {
+		s.led.jrFree = append(s.led.jrFree, jr)
 	}
 }
 
@@ -175,10 +219,18 @@ func (s *state) snapshot() *journal {
 func (s *state) revert(jr *journal) {
 	led := s.led
 	for i := len(jr.edges) - 1; i >= 0; i-- {
-		setRef(led.edgeRef, jr.edges[i].key, jr.edges[i].old)
+		led.edgeRef[jr.edges[i].idx] = jr.edges[i].old
 	}
 	for i := len(jr.insts) - 1; i >= 0; i-- {
-		setRef(led.instRef, jr.insts[i].key, jr.insts[i].old)
+		led.instRef[jr.insts[i].idx] = jr.insts[i].old
+	}
+	for i := len(jr.bad) - 1; i >= 0; i-- {
+		e := jr.bad[i]
+		if e.old == 0 {
+			delete(led.badRef, e.key)
+		} else {
+			led.badRef[e.key] = e.old
+		}
 	}
 	for i := len(jr.caps) - 1; i >= 0; i-- {
 		led.usedCap[jr.caps[i].node] = jr.caps[i].old
@@ -196,14 +248,19 @@ func (s *state) revert(jr *journal) {
 	led.infEdges = jr.infEdges
 }
 
-// setRef writes a refcount back, deleting zero entries so the maps
-// track only live keys.
-func setRef[K comparable](m map[K]int, k K, v int) {
-	if v == 0 {
-		delete(m, k)
-	} else {
-		m[k] = v
+// findArc returns the canonical CSR arc for the directed hop u -> v —
+// the cheapest parallel arc, earliest position winning ties — or -1
+// when u-v is not a graph edge.
+func (led *ledger) findArc(u, v int) int32 {
+	c := led.csr
+	best := int32(-1)
+	bestCost := graph.Inf
+	for p, end := c.Start[u], c.Start[u+1]; p < end; p++ {
+		if int(c.To[p]) == v && c.Cost[p] < bestCost {
+			best, bestCost = p, c.Cost[p]
+		}
 	}
+	return best
 }
 
 // ledgerAddInstance subscribes one (destination, level) to the
@@ -215,12 +272,12 @@ func (s *state) ledgerAddInstance(f, node int, jr *journal) {
 		return
 	}
 	led := s.led
-	key := instKey{f, node}
-	old := led.instRef[key]
+	idx := int32(f*led.n + node)
+	old := led.instRef[idx]
 	if jr != nil {
-		jr.insts = append(jr.insts, journalInst{key, old})
+		jr.insts = append(jr.insts, journalRef{idx, old})
 	}
-	led.instRef[key] = old + 1
+	led.instRef[idx] = old + 1
 	if old == 0 {
 		led.setupSum += s.net.SetupCost(f, node)
 		if vnf, err := s.net.VNF(f); err == nil {
@@ -239,12 +296,12 @@ func (s *state) ledgerRemoveInstance(f, node int, jr *journal) {
 		return
 	}
 	led := s.led
-	key := instKey{f, node}
-	old := led.instRef[key]
+	idx := int32(f*led.n + node)
+	old := led.instRef[idx]
 	if jr != nil {
-		jr.insts = append(jr.insts, journalInst{key, old})
+		jr.insts = append(jr.insts, journalRef{idx, old})
 	}
-	setRef(led.instRef, key, old-1)
+	led.instRef[idx] = old - 1
 	if old == 1 {
 		led.setupSum -= s.net.SetupCost(f, node)
 		if vnf, err := s.net.VNF(f); err == nil {
@@ -260,18 +317,27 @@ func (s *state) ledgerRemoveInstance(f, node int, jr *journal) {
 // 0->1 transition adds its link cost (or marks an infinite walk).
 func (s *state) ledgerAddEdge(level, u, v int, jr *journal) {
 	led := s.led
-	key := stageEdge{level: level, u: u, v: v}
-	old := led.edgeRef[key]
-	if jr != nil {
-		jr.edges = append(jr.edges, journalEdge{key, old})
-	}
-	led.edgeRef[key] = old + 1
-	if old == 0 {
-		if c, ok := led.edgeCost[edgeKey(u, v)]; ok {
-			led.linkSum += c
-		} else {
+	arc := led.findArc(u, v)
+	if arc < 0 {
+		key := stageEdge{level: level, u: u, v: v}
+		old := led.badRef[key]
+		if jr != nil {
+			jr.bad = append(jr.bad, journalBad{key, old})
+		}
+		led.badRef[key] = old + 1
+		if old == 0 {
 			led.infEdges++
 		}
+		return
+	}
+	idx := int32(level)*int32(led.arcs) + arc
+	old := led.edgeRef[idx]
+	if jr != nil {
+		jr.edges = append(jr.edges, journalRef{idx, old})
+	}
+	led.edgeRef[idx] = old + 1
+	if old == 0 {
+		led.linkSum += led.csr.Cost[arc]
 	}
 }
 
@@ -279,18 +345,29 @@ func (s *state) ledgerAddEdge(level, u, v int, jr *journal) {
 // its link cost.
 func (s *state) ledgerRemoveEdge(level, u, v int, jr *journal) {
 	led := s.led
-	key := stageEdge{level: level, u: u, v: v}
-	old := led.edgeRef[key]
-	if jr != nil {
-		jr.edges = append(jr.edges, journalEdge{key, old})
-	}
-	setRef(led.edgeRef, key, old-1)
-	if old == 1 {
-		if c, ok := led.edgeCost[edgeKey(u, v)]; ok {
-			led.linkSum -= c
-		} else {
-			led.infEdges--
+	arc := led.findArc(u, v)
+	if arc < 0 {
+		key := stageEdge{level: level, u: u, v: v}
+		old := led.badRef[key]
+		if jr != nil {
+			jr.bad = append(jr.bad, journalBad{key, old})
 		}
+		if old == 1 {
+			delete(led.badRef, key)
+			led.infEdges--
+		} else {
+			led.badRef[key] = old - 1
+		}
+		return
+	}
+	idx := int32(level)*int32(led.arcs) + arc
+	old := led.edgeRef[idx]
+	if jr != nil {
+		jr.edges = append(jr.edges, journalRef{idx, old})
+	}
+	led.edgeRef[idx] = old - 1
+	if old == 1 {
+		led.linkSum -= led.csr.Cost[arc]
 	}
 }
 

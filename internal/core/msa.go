@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sftree/internal/graph"
 	"sftree/internal/mod"
@@ -56,6 +59,14 @@ type Options struct {
 	// trade-off is more trial evaluations. Incompatible with
 	// LocalAcceptance (which has no global gate) — ignored there.
 	AggressiveOPA bool
+	// Parallelism bounds the worker goroutines evaluating stage-one
+	// candidate last-hosts concurrently. 0 or 1 runs the sweep
+	// sequentially; >1 uses that many workers (capped at the candidate
+	// count); <0 uses GOMAXPROCS. The result is bit-identical across
+	// every setting: candidate evaluation is pure (no shared mutable
+	// state), and the winners are reduced in candidate-index order with
+	// the same strict-< rule the sequential loop applies.
+	Parallelism int
 	// Observer, when non-nil, receives structured phase events from
 	// every stage of the solve (see observe.go). Nil costs one pointer
 	// check per emission site and nothing else.
@@ -98,6 +109,21 @@ func (o Options) steiner() SteinerAlgo {
 	return o.Steiner
 }
 
+// workers resolves Parallelism against the candidate count.
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 2 {
+		return 1
+	}
+	return p
+}
+
 // StageStats reports how stage one reached its feasible solution.
 type StageStats struct {
 	CandidatesTried int
@@ -131,54 +157,135 @@ func runMSA(net *nfv.Network, task nfv.Task, opts Options) (*state, *StageStats,
 		candidates = candidates[:opts.MaxCandidateHosts]
 	}
 
+	results := make([]candResult, len(candidates))
+	if workers := opts.workers(len(candidates)); workers > 1 {
+		// Candidate evaluation is pure — it reads only the (warm)
+		// metric, the overlay's Dijkstra tree and the network — so the
+		// sweep fans out over a bounded worker pool pulling indices
+		// from an atomic cursor. A worker that sees an expired deadline
+		// marks its remaining claims skipped instead of evaluating;
+		// the ordered reduction below restores the anytime semantics.
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					idx := int(cursor.Add(1)) - 1
+					if idx >= len(candidates) {
+						return
+					}
+					if opts.ctxErr() != nil {
+						results[idx].skipped = true
+						continue
+					}
+					results[idx] = evalCandidate(net, task, overlay, sol, metric, opts.steiner(), candidates[idx])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, w := range candidates {
+			results[i] = evalCandidate(net, task, overlay, sol, metric, opts.steiner(), w)
+			// Anytime semantics: once a plausibly feasible solution is in
+			// hand, an expired deadline stops the sweep; the reduction
+			// below decides what that means exactly (and resumes inline
+			// if the candidates in hand all turn out infeasible).
+			if results[i].ok && opts.ctxErr() != nil {
+				for j := i + 1; j < len(results); j++ {
+					results[j].skipped = true
+				}
+				break
+			}
+		}
+	}
+
+	// Index-ordered reduction, identical to the historical sequential
+	// loop: candidates are considered in sorted order, a strict < on
+	// total cost picks the winner, and stateFromSolution runs only for
+	// improving candidates (its failure skips the candidate without
+	// touching the running best).
 	var (
 		bestState *state
 		bestCost  = graph.Inf
 		stats     StageStats
 	)
-	for _, w := range candidates {
-		// Anytime semantics: once one feasible solution is in hand, an
-		// expired deadline ends the sweep instead of trying every host.
-		if bestState != nil && opts.ctxErr() != nil {
-			stats.EarlyStop = true
-			break
+	for i := range results {
+		r := &results[i]
+		if r.skipped {
+			// The deadline expired before this candidate ran. Mirror the
+			// sequential anytime rule: with a feasible solution in hand
+			// the sweep ends early; without one, keep evaluating inline
+			// so the solve fails only when no candidate is feasible.
+			if bestState != nil {
+				stats.EarlyStop = true
+				break
+			}
+			*r = evalCandidate(net, task, overlay, sol, metric, opts.steiner(), candidates[i])
 		}
-		if sol.CostTo(w) == graph.Inf {
+		if r.tried {
+			stats.CandidatesTried++
+		}
+		if !r.ok || r.total >= bestCost {
 			continue
 		}
-		hosts := sol.HostsTo(w)
-		if hosts == nil {
-			continue
-		}
-		stats.CandidatesTried++
-		hosts, ok := repairCapacity(net, task, hosts)
-		if !ok {
-			continue
-		}
-		chainCost := overlay.ChainCost(hosts)
-		last := hosts[len(hosts)-1]
-
-		tree, err := buildSteiner(net, metric, last, task.Destinations, opts.steiner())
-		if err != nil {
-			continue // some destination unreachable from this host
-		}
-		total := chainCost + tree.Cost
-		if total >= bestCost {
-			continue
-		}
-		st, err := stateFromSolution(net, task, hosts, tree)
+		st, err := stateFromSolution(net, task, r.hosts, r.tree)
 		if err != nil {
 			continue
 		}
-		bestCost = total
+		bestCost = r.total
 		bestState = st
-		stats.LastHost = last
+		stats.LastHost = r.hosts[len(r.hosts)-1]
 	}
 	if bestState == nil {
 		return nil, nil, fmt.Errorf("%w: no candidate last host admits a feasible solution", ErrNoFeasible)
 	}
 	stats.Stage1Cost = bestCost
 	return bestState, &stats, nil
+}
+
+// candResult is one candidate last-host's evaluation, computed
+// without reference to the running best so candidates can run in any
+// order (or concurrently) and reduce deterministically by index.
+type candResult struct {
+	tried   bool // counted by StageStats.CandidatesTried
+	ok      bool // chain repaired and Steiner tree built
+	skipped bool // deadline expired before evaluation (parallel sweep)
+	hosts   []int
+	tree    steiner.Tree
+	total   float64
+}
+
+// evalCandidate prices candidate last-host w: decode the overlay's
+// optimal chain ending at w, repair capacity, and connect w to every
+// destination with a Steiner tree. It only reads shared state, so it
+// is safe to call concurrently once the metric is warm.
+func evalCandidate(net *nfv.Network, task nfv.Task, overlay *mod.Network, sol *mod.SFCSolution, metric *graph.Metric, algo SteinerAlgo, w int) candResult {
+	var r candResult
+	if sol.CostTo(w) == graph.Inf {
+		return r
+	}
+	hosts := sol.HostsTo(w)
+	if hosts == nil {
+		return r
+	}
+	r.tried = true
+	hosts, ok := repairCapacity(net, task, hosts)
+	if !ok {
+		return r
+	}
+	chainCost := overlay.ChainCost(hosts)
+	last := hosts[len(hosts)-1]
+	tree, err := buildSteiner(net, metric, last, task.Destinations, algo)
+	if err != nil {
+		return r // some destination unreachable from this host
+	}
+	r.ok = true
+	r.hosts = hosts
+	r.tree = tree
+	r.total = chainCost + tree.Cost
+	return r
 }
 
 // BuildTails connects root to all destinations with the selected
@@ -233,8 +340,14 @@ func repairCapacity(net *nfv.Network, task nfv.Task, hosts []int) ([]int, bool) 
 	k := len(hosts)
 	out := append([]int(nil), hosts...)
 	metric := net.Metric()
-	free := make(map[int]float64)
-	for _, v := range net.Servers() {
+	sc := capPool.Get().(*capScratch)
+	defer capPool.Put(sc)
+	if n := net.NumNodes(); cap(sc.free) < n {
+		sc.free = make([]float64, n)
+	}
+	free := sc.free[:net.NumNodes()]
+	servers := net.ServerList()
+	for _, v := range servers {
 		free[v] = net.FreeCapacity(v)
 	}
 	for j := 0; j < k; j++ {
@@ -247,7 +360,10 @@ func repairCapacity(net *nfv.Network, task nfv.Task, hosts []int) ([]int, bool) 
 		if net.IsDeployed(f, h) {
 			continue // reuse, no capacity consumed
 		}
-		if free[h]+1e-9 >= vnf.Demand {
+		// The scratch array is refreshed only at server indices; a
+		// non-server host (possible via RepairChainHosts) has no
+		// capacity and always relocates, as with the old map's zero.
+		if net.IsServer(h) && free[h]+1e-9 >= vnf.Demand {
 			free[h] -= vnf.Demand
 			continue
 		}
@@ -258,7 +374,7 @@ func repairCapacity(net *nfv.Network, task nfv.Task, hosts []int) ([]int, bool) 
 			prev = out[j-1]
 		}
 		best, bestCost := -1, graph.Inf
-		for _, u := range net.Servers() {
+		for _, u := range servers {
 			reuse := net.IsDeployed(f, u)
 			if !reuse && free[u]+1e-9 < vnf.Demand {
 				continue
@@ -281,6 +397,12 @@ func repairCapacity(net *nfv.Network, task nfv.Task, hosts []int) ([]int, bool) 
 	}
 	return out, true
 }
+
+// capScratch is the pooled free-capacity array behind repairCapacity;
+// only server-indexed entries are meaningful (refreshed per call).
+type capScratch struct{ free []float64 }
+
+var capPool = sync.Pool{New: func() any { return new(capScratch) }}
 
 // stateFromSolution assembles the stage-one state: every destination
 // is served by the single chain host sequence, and tails follow the

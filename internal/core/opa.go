@@ -93,7 +93,7 @@ func runOPAPass(s *state, opts Options, passNo int) (int, error) {
 
 			// Find the best alternative host E by the local rule.
 			bestE, bestScore := -1, graph.Inf
-			for _, u := range s.net.Servers() {
+			for _, u := range s.net.ServerList() {
 				if u == cur {
 					continue
 				}
@@ -130,6 +130,7 @@ func runOPAPass(s *state, opts Options, passNo int) (int, error) {
 				moves++
 				nextConn = append(nextConn, bestE)
 				c, err := s.totalCost()
+				s.releaseJournal(jr)
 				if err != nil {
 					return moves, err
 				}
@@ -144,6 +145,7 @@ func runOPAPass(s *state, opts Options, passNo int) (int, error) {
 			trialCost, err := s.totalCost()
 			if err != nil || trialCost >= curCost-costEps {
 				s.revert(jr)
+				s.releaseJournal(jr)
 				if opts.Observer != nil {
 					opts.emit(Event{Kind: EventMoveRejected, Pass: passNo, Level: j,
 						Conn: grp.node, From: cur, To: bestE, Group: len(grp.members),
@@ -156,6 +158,7 @@ func runOPAPass(s *state, opts Options, passNo int) (int, error) {
 					Conn: grp.node, From: cur, To: bestE, Group: len(grp.members),
 					CostBefore: curCost, CostAfter: trialCost})
 			}
+			s.releaseJournal(jr)
 			curCost = trialCost
 			moves++
 			nextConn = append(nextConn, bestE)
@@ -207,7 +210,7 @@ func runOPAPassNaive(s *state, opts Options, passNo int) (int, error) {
 			}
 
 			bestE, bestScore := -1, graph.Inf
-			for _, u := range s.net.Servers() {
+			for _, u := range s.net.ServerList() {
 				if u == cur {
 					continue
 				}
@@ -395,7 +398,7 @@ func (s *state) instanceSetupCost(f, u int) float64 {
 		return 0
 	}
 	if led := s.led; led != nil {
-		if led.instRef[instKey{f, u}] > 0 {
+		if led.instRef[f*led.n+u] > 0 {
 			return 0
 		}
 		return s.net.SetupCost(f, u)

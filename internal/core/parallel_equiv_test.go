@@ -1,0 +1,113 @@
+package core_test
+
+// The parallel stage-one sweep must be a pure performance knob: for
+// every instance and option set, Options.Parallelism may not change a
+// single bit of the result. The sweep's determinism argument (pure
+// candidate evaluation + index-ordered reduction, see msa.go) is
+// checked here against the conformance corpus, including under -race
+// via tools.sh. This file lives in package core_test because the
+// corpus generator (conformance/harness) imports core.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sftree/internal/conformance/harness"
+	"sftree/internal/core"
+)
+
+// equivOptions are the option sets the equivalence tests sweep; each
+// is re-run at every parallelism level.
+var equivOptions = []struct {
+	name string
+	opts core.Options
+}{
+	{"default", core.Options{}},
+	{"aggressive", core.Options{AggressiveOPA: true, MaxOPAPasses: 3}},
+	{"mehlhorn", core.Options{Steiner: core.SteinerMehlhorn}},
+}
+
+// assertSameResult requires got to match want exactly: embedding
+// deep-equal, costs bit-identical (== on float64, no tolerance), and
+// every stage statistic equal. Timings are not part of Result, so the
+// whole struct is comparable.
+func assertSameResult(t *testing.T, label string, want, got *core.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Embedding, got.Embedding) {
+		t.Errorf("%s: embedding differs\nwant %+v\ngot  %+v", label, want.Embedding, got.Embedding)
+	}
+	if want.Stage1Cost != got.Stage1Cost {
+		t.Errorf("%s: stage1 cost %v != %v", label, got.Stage1Cost, want.Stage1Cost)
+	}
+	if want.FinalCost != got.FinalCost {
+		t.Errorf("%s: final cost %v != %v", label, got.FinalCost, want.FinalCost)
+	}
+	if want.MovesAccepted != got.MovesAccepted {
+		t.Errorf("%s: moves accepted %d != %d", label, got.MovesAccepted, want.MovesAccepted)
+	}
+	if want.CandidatesTried != got.CandidatesTried {
+		t.Errorf("%s: candidates tried %d != %d", label, got.CandidatesTried, want.CandidatesTried)
+	}
+	if want.LastHost != got.LastHost {
+		t.Errorf("%s: last host %d != %d", label, got.LastHost, want.LastHost)
+	}
+	if want.EarlyStop != got.EarlyStop {
+		t.Errorf("%s: early stop %v != %v", label, got.EarlyStop, want.EarlyStop)
+	}
+}
+
+func TestParallelSweepBitIdentical(t *testing.T) {
+	cases, err := harness.GenerateCorpus(nil, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("%s-s%d", c.Stratum.Name(), c.Seed), func(t *testing.T) {
+			for _, ov := range equivOptions {
+				seq := ov.opts
+				seq.Parallelism = 1
+				want, err := core.Solve(c.Net, c.Task, seq)
+				if err != nil {
+					t.Fatalf("%s sequential: %v", ov.name, err)
+				}
+				for _, p := range []int{2, 8} {
+					par := ov.opts
+					par.Parallelism = p
+					got, err := core.Solve(c.Net, c.Task, par)
+					if err != nil {
+						t.Fatalf("%s parallelism %d: %v", ov.name, p, err)
+					}
+					assertSameResult(t, fmt.Sprintf("%s/p%d", ov.name, p), want, got)
+				}
+			}
+		})
+	}
+}
+
+// FuzzParallelSweepBitIdentical lets the fuzzer pick corpus strata and
+// seeds; any input whose sequential and parallel solves disagree is a
+// determinism bug in the sweep.
+func FuzzParallelSweepBitIdentical(f *testing.F) {
+	f.Add(0, int64(1))
+	f.Add(3, int64(42))
+	f.Add(7, int64(-5))
+	grid := harness.DefaultGrid()
+	f.Fuzz(func(t *testing.T, stratum int, seed int64) {
+		s := grid[((stratum%len(grid))+len(grid))%len(grid)]
+		c, err := harness.GenerateCase(s, seed)
+		if err != nil {
+			t.Skip() // no solvable task for this seed
+		}
+		want, err := core.Solve(c.Net, c.Task, core.Options{Parallelism: 1})
+		if err != nil {
+			t.Skip()
+		}
+		got, err := core.Solve(c.Net, c.Task, core.Options{Parallelism: 8})
+		if err != nil {
+			t.Fatalf("parallel solve failed where sequential succeeded: %v", err)
+		}
+		assertSameResult(t, "p8", want, got)
+	})
+}

@@ -120,7 +120,7 @@ func (s *state) canHost(f, v int) bool {
 		return true
 	}
 	if led := s.led; led != nil {
-		if led.instRef[instKey{f, v}] > 0 {
+		if led.instRef[f*led.n+v] > 0 {
 			return true
 		}
 		vnf, err := s.net.VNF(f)

@@ -76,6 +76,10 @@ func (m *Manager) Rebase(newNet *nfv.Network) *RepairReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.net = newNet
+	// Warm the metric before repairing: every session repair below
+	// prices against it, and a faults.State-materialized network may
+	// satisfy this from its per-topology cache instead of a fresh APSP.
+	newNet.Metric()
 	rep := &RepairReport{Checked: len(m.sessions)}
 
 	// Purge references to instances that died with the fault: they are

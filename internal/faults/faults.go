@@ -18,6 +18,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"sftree/internal/graph"
 	"sftree/internal/nfv"
@@ -120,15 +123,52 @@ type State struct {
 	// kills holds instance crashes applied since the last Materialize;
 	// they are one-shot (consumed by the next materialization).
 	kills [][2]int // (vnf, node)
+	// metricCache shares one APSP closure across materializations of
+	// the same degraded topology, keyed by the canonical down-set.
+	// Deployments and kills never change distances, so a fault-flap
+	// sequence (down, up, down ...) re-solves on a warm metric instead
+	// of paying an APSP rebuild per Materialize.
+	metricMu    sync.Mutex
+	metricCache map[string]*graph.Metric
 }
 
 // NewState tracks faults against the given pristine network.
 func NewState(base *nfv.Network) *State {
 	return &State{
-		base:      base,
-		downLinks: make(map[[2]int]bool),
-		downNodes: make(map[int]bool),
+		base:        base,
+		downLinks:   make(map[[2]int]bool),
+		downNodes:   make(map[int]bool),
+		metricCache: make(map[string]*graph.Metric),
 	}
+}
+
+// topoSignature canonically encodes the current down-set; states with
+// equal signatures materialize identical graphs (same edges in the
+// same order with the same costs), so their metrics are shareable.
+func (s *State) topoSignature() string {
+	nodes := make([]int, 0, len(s.downNodes))
+	for v := range s.downNodes {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	links := make([][2]int, 0, len(s.downLinks))
+	for l := range s.downLinks {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	var b strings.Builder
+	for _, v := range nodes {
+		fmt.Fprintf(&b, "n%d;", v)
+	}
+	for _, l := range links {
+		fmt.Fprintf(&b, "l%d-%d;", l[0], l[1])
+	}
+	return b.String()
 }
 
 func canonLink(u, v int) [2]int {
@@ -238,6 +278,31 @@ func (s *State) Materialize(deployFrom *nfv.Network) (*nfv.Network, error) {
 		if err := net.SetLinkCapacity(b.u, b.v, b.copies); err != nil {
 			return nil, err
 		}
+	}
+
+	// Metric reuse: a pristine down-set reproduces the base topology
+	// exactly, so the base network's own cached metric applies; any
+	// other down-set is served from the per-signature cache, built on
+	// first demand against this materialization's graph.
+	if len(s.downLinks) == 0 && len(s.downNodes) == 0 {
+		net.SetMetricSupplier(s.base.Metric)
+	} else {
+		sig, gg := s.topoSignature(), g
+		net.SetMetricSupplier(func() *graph.Metric {
+			s.metricMu.Lock()
+			defer s.metricMu.Unlock()
+			if m, ok := s.metricCache[sig]; ok {
+				return m
+			}
+			// Bound the cache: a long chaos run can visit many distinct
+			// down-sets, and each closure is O(n^2) memory.
+			if len(s.metricCache) >= 64 {
+				s.metricCache = make(map[string]*graph.Metric)
+			}
+			m := gg.APSPAuto()
+			s.metricCache[sig] = m
+			return m
+		})
 	}
 
 	killed := make(map[[2]int]bool, len(s.kills))

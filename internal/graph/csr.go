@@ -1,0 +1,160 @@
+package graph
+
+// This file holds the flat compressed-sparse-row (CSR) adjacency
+// representations behind every shortest-path hot loop. The slice-of-
+// slices adjacency in Graph stays the mutable build-time structure;
+// CSR is derived from it once, cached, and shared read-only by any
+// number of goroutines. Arc order within a row matches the insertion
+// order of Graph.AddEdge, so CSR traversals break distance ties
+// exactly like the historical adjacency-list traversals did — results
+// stay bit-identical.
+
+// CSR is the undirected graph in compressed-sparse-row form: the arcs
+// leaving node u occupy positions Start[u]..Start[u+1] of the To /
+// Cost / EdgeID arrays. Node ids and arc positions fit int32 (the
+// repository's instances are dense integer graphs well under 2^31
+// nodes); costs stay float64.
+type CSR struct {
+	N      int
+	Start  []int32   // len N+1; row bounds into the arc arrays
+	To     []int32   // arc head node
+	Cost   []float64 // arc traversal cost
+	EdgeID []int32   // index into Graph.Edges of the underlying edge
+}
+
+// NumArcs returns the number of directed arcs (twice the edge count).
+func (c *CSR) NumArcs() int { return len(c.To) }
+
+func buildCSR(g *Graph) *CSR {
+	n := len(g.adj)
+	m := 0
+	for _, l := range g.adj {
+		m += len(l)
+	}
+	c := &CSR{
+		N:      n,
+		Start:  make([]int32, n+1),
+		To:     make([]int32, m),
+		Cost:   make([]float64, m),
+		EdgeID: make([]int32, m),
+	}
+	pos := 0
+	for u, l := range g.adj {
+		c.Start[u] = int32(pos)
+		for _, a := range l {
+			c.To[pos] = int32(a.To)
+			c.Cost[pos] = a.Cost
+			c.EdgeID[pos] = int32(a.Edge)
+			pos++
+		}
+	}
+	c.Start[n] = int32(pos)
+	return c
+}
+
+// CSR returns the graph's compressed-sparse-row form, building and
+// caching it on first use and rebuilding when the graph has mutated
+// since (see Generation). The result is shared and strictly read-only;
+// concurrent callers are safe.
+func (g *Graph) CSR() *CSR {
+	g.csrMu.Lock()
+	defer g.csrMu.Unlock()
+	if g.csr == nil || g.csrGen != g.gen {
+		g.csr = buildCSR(g)
+		g.csrGen = g.gen
+	}
+	return g.csr
+}
+
+// Generation returns a counter that increments on every topology
+// mutation (AddEdge). Derived structures — the cached CSR here, the
+// cached metric closure on nfv.Network — stamp the generation they
+// were built at and revalidate against it, so a stale cache is
+// rebuilt instead of silently served.
+func (g *Graph) Generation() uint64 { return g.gen }
+
+// DCSR is a directed graph in compressed-sparse-row form with
+// arc-exact storage: callers declare every node's out-degree up
+// front, then place exactly that many arcs. It backs the expanded MOD
+// overlay, whose arc counts are known in closed form, so construction
+// performs three large allocations total instead of per-node append
+// growth.
+type DCSR struct {
+	Start []int32
+	To    []int32
+	Cost  []float64
+	fill  []int32 // next free position per row while building
+}
+
+// NewDCSR returns a directed CSR graph with len(outDeg) nodes whose
+// row u has room for exactly outDeg[u] arcs. Fill the rows with
+// AddArc; arcs within a row keep insertion order.
+func NewDCSR(outDeg []int32) *DCSR {
+	n := len(outDeg)
+	start := make([]int32, n+1)
+	var total int32
+	for u, d := range outDeg {
+		start[u] = total
+		total += d
+	}
+	start[n] = total
+	d := &DCSR{
+		Start: start,
+		To:    make([]int32, total),
+		Cost:  make([]float64, total),
+		fill:  append([]int32(nil), start[:n]...),
+	}
+	return d
+}
+
+// NumNodes returns the node count.
+func (d *DCSR) NumNodes() int { return len(d.Start) - 1 }
+
+// NumArcs returns the number of directed arcs.
+func (d *DCSR) NumArcs() int { return len(d.To) }
+
+// AddArc places the next arc of row u. The caller must stay within
+// the out-degree declared to NewDCSR; exceeding it panics (a
+// programmer error in the count pass, caught immediately).
+func (d *DCSR) AddArc(u, v int, cost float64) {
+	p := d.fill[u]
+	if p >= d.Start[u+1] {
+		panic("graph: DCSR row over-filled")
+	}
+	d.To[p] = int32(v)
+	d.Cost[p] = cost
+	d.fill[u] = p + 1
+}
+
+// Dijkstra computes shortest paths from src over the directed arcs,
+// using pooled heap scratch.
+func (d *DCSR) Dijkstra(src int) *ShortestPathTree {
+	n := d.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	sc := getScratch(0)
+	h := &sc.heap
+	h.Reset(n)
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue
+		}
+		for p, end := d.Start[u], d.Start[u+1]; p < end; p++ {
+			v := int(d.To[p])
+			if nd := du + d.Cost[p]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				h.Push(v, nd)
+			}
+		}
+	}
+	putScratch(sc)
+	return &ShortestPathTree{Src: src, Dist: dist, Parent: parent}
+}

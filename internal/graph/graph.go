@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Inf is the cost used to mark unreachable node pairs.
@@ -53,6 +54,14 @@ func (e Edge) Other(x int) int {
 type Graph struct {
 	adj   [][]Arc
 	edges []Edge
+	// gen counts topology mutations; derived caches (CSR, metric
+	// closures) stamp it to detect staleness. See Generation.
+	gen uint64
+	// csr caches the flat adjacency built at generation csrGen,
+	// guarded by csrMu so read-only solvers can share one graph.
+	csrMu  sync.Mutex
+	csr    *CSR
+	csrGen uint64
 }
 
 // New returns an empty undirected graph with n nodes and no edges.
@@ -94,6 +103,7 @@ func (g *Graph) AddEdge(u, v int, cost float64) (int, error) {
 	g.edges = append(g.edges, Edge{U: u, V: v, Cost: cost})
 	g.adj[u] = append(g.adj[u], Arc{To: v, Cost: cost, Edge: id})
 	g.adj[v] = append(g.adj[v], Arc{To: u, Cost: cost, Edge: id})
+	g.gen++
 	return id, nil
 }
 
@@ -130,11 +140,14 @@ func (g *Graph) HasEdge(u, v int) (float64, bool) {
 	return best, found
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The clone starts with a
+// cold CSR cache but inherits the generation counter, so metric
+// closures built against the original remain valid for it.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		adj:   make([][]Arc, len(g.adj)),
 		edges: make([]Edge, len(g.edges)),
+		gen:   g.gen,
 	}
 	copy(c.edges, g.edges)
 	for i, l := range g.adj {

@@ -15,11 +15,24 @@ type heapItem struct {
 
 // NewNodeHeap returns a heap able to hold nodes in [0, n).
 func NewNodeHeap(n int) *NodeHeap {
-	pos := make([]int, n)
-	for i := range pos {
-		pos[i] = -1
+	h := &NodeHeap{items: make([]heapItem, 0, n)}
+	h.Reset(n)
+	return h
+}
+
+// Reset empties the heap and sizes it for nodes in [0, n), reusing
+// the existing backing arrays when they are large enough. It makes a
+// heap value recyclable through a scratch pool: Reset costs one O(n)
+// fill, everything else is reused.
+func (h *NodeHeap) Reset(n int) {
+	if cap(h.pos) < n {
+		h.pos = make([]int, n)
 	}
-	return &NodeHeap{pos: pos, items: make([]heapItem, 0, n)}
+	h.pos = h.pos[:n]
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	h.items = h.items[:0]
 }
 
 func (h *NodeHeap) Len() int { return len(h.items) }

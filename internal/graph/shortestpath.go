@@ -31,32 +31,44 @@ func (t *ShortestPathTree) PathTo(v int) []int {
 	return rev
 }
 
-// Dijkstra computes shortest paths from src to every node.
+// Dijkstra computes shortest paths from src to every node. The
+// traversal runs over the cached CSR form with a pooled heap; arc
+// order matches the adjacency lists, so tie-breaking is identical to
+// the historical slice-of-slices implementation.
 func (g *Graph) Dijkstra(src int) *ShortestPathTree {
-	n := len(g.adj)
-	dist := make([]float64, n)
-	parent := make([]int, n)
+	c := g.CSR()
+	dist := make([]float64, c.N)
+	parent := make([]int, c.N)
+	sc := getScratch(0)
+	csrDijkstra(c, src, dist, parent, &sc.heap)
+	putScratch(sc)
+	return &ShortestPathTree{Src: src, Dist: dist, Parent: parent}
+}
+
+// csrDijkstra is the shared Dijkstra core: it fills dist and parent
+// (both length c.N) for the given source, reusing the caller's heap.
+func csrDijkstra(c *CSR, src int, dist []float64, parent []int, h *NodeHeap) {
 	for i := range dist {
 		dist[i] = Inf
 		parent[i] = -1
 	}
 	dist[src] = 0
-	h := NewNodeHeap(n)
+	h.Reset(c.N)
 	h.Push(src, 0)
 	for h.Len() > 0 {
 		u, du := h.Pop()
 		if du > dist[u] {
 			continue
 		}
-		for _, a := range g.adj[u] {
-			if nd := du + a.Cost; nd < dist[a.To] {
-				dist[a.To] = nd
-				parent[a.To] = u
-				h.Push(a.To, nd)
+		for p, end := c.Start[u], c.Start[u+1]; p < end; p++ {
+			v := int(c.To[p])
+			if nd := du + c.Cost[p]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				h.Push(v, nd)
 			}
 		}
 	}
-	return &ShortestPathTree{Src: src, Dist: dist, Parent: parent}
 }
 
 // Metric holds all-pairs shortest-path distances plus enough routing
@@ -66,14 +78,26 @@ type Metric struct {
 	next [][]int32 // next[u][v] = first hop on a shortest u->v path, -1 if none
 }
 
-// FloydWarshall computes all-pairs shortest paths in O(V^3).
-func (g *Graph) FloydWarshall() *Metric {
-	n := len(g.adj)
+// metricSlabs allocates the n*n distance and first-hop matrices as
+// two contiguous slabs sliced into rows: one allocation each instead
+// of n, and row-major locality for the sweeps that walk them.
+func metricSlabs(n int) ([][]float64, [][]int32) {
+	distSlab := make([]float64, n*n)
+	nextSlab := make([]int32, n*n)
 	dist := make([][]float64, n)
 	next := make([][]int32, n)
 	for i := 0; i < n; i++ {
-		dist[i] = make([]float64, n)
-		next[i] = make([]int32, n)
+		dist[i] = distSlab[i*n : (i+1)*n : (i+1)*n]
+		next[i] = nextSlab[i*n : (i+1)*n : (i+1)*n]
+	}
+	return dist, next
+}
+
+// FloydWarshall computes all-pairs shortest paths in O(V^3).
+func (g *Graph) FloydWarshall() *Metric {
+	n := len(g.adj)
+	dist, next := metricSlabs(n)
+	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			dist[i][j] = Inf
 			next[i][j] = -1
@@ -114,53 +138,53 @@ func (g *Graph) FloydWarshall() *Metric {
 // Dijkstra run per node: O(V * (E log V)). Faster on sparse graphs;
 // kept as an ablation alternative and as a cross-check in tests.
 func (g *Graph) AllDijkstra() *Metric {
-	n := len(g.adj)
-	dist := make([][]float64, n)
-	next := make([][]int32, n)
-	var scratch []int
+	c := g.CSR()
+	n := c.N
+	dist, next := metricSlabs(n)
+	sc := getScratch(n)
 	for s := 0; s < n; s++ {
-		dist[s], next[s], scratch = g.apspRow(s, scratch)
+		apspRow(c, s, dist[s], next[s], sc)
 	}
+	putScratch(sc)
 	return &Metric{Dist: dist, next: next}
 }
 
-// apspRow computes one row of the all-pairs metric: distances from s
-// plus the first hop towards every reachable node. First hops are
-// filled in a single amortized-O(V) pass: a node inherits the first
-// hop of its Dijkstra parent, so each parent chain is resolved once
-// and memoized. scratch is reusable chain storage (may be nil); the
-// possibly-grown slice is returned for the next call.
-func (g *Graph) apspRow(s int, scratch []int) ([]float64, []int32, []int) {
-	n := len(g.adj)
-	t := g.Dijkstra(s)
-	nx := make([]int32, n)
+// apspRow computes one row of the all-pairs metric into dist and nx
+// (both length c.N): distances from s plus the first hop towards
+// every reachable node. First hops are filled in a single
+// amortized-O(V) pass: a node inherits the first hop of its Dijkstra
+// parent, so each parent chain is resolved once and memoized. The
+// Dijkstra parents and chain storage live in the scratch arena.
+func apspRow(c *CSR, s int, dist []float64, nx []int32, sc *spScratch) {
+	n := c.N
+	parent := sc.parent[:n]
+	csrDijkstra(c, s, dist, parent, &sc.heap)
 	for v := range nx {
 		nx[v] = -1
 	}
 	nx[s] = int32(s)
 	for v := 0; v < n; v++ {
-		if v == s || t.Dist[v] == Inf || nx[v] != -1 {
+		if v == s || dist[v] == Inf || nx[v] != -1 {
 			continue
 		}
 		// Walk up the parent chain until a node with a known first hop
 		// (or a direct child of s), then fill the chain with that hop.
-		chain := scratch[:0]
+		chain := sc.chain[:0]
 		x := v
 		for nx[x] == -1 {
-			if t.Parent[x] == s {
+			if parent[x] == s {
 				nx[x] = int32(x)
 				break
 			}
 			chain = append(chain, x)
-			x = t.Parent[x]
+			x = parent[x]
 		}
 		hop := nx[x]
 		for _, y := range chain {
 			nx[y] = hop
 		}
-		scratch = chain
+		sc.chain = chain
 	}
-	return t.Dist, nx, scratch
 }
 
 // AllDijkstraParallel computes the same Metric as AllDijkstra with one
@@ -169,9 +193,9 @@ func (g *Graph) apspRow(s int, scratch []int) ([]float64, []int32, []int) {
 // result is byte-identical to the serial AllDijkstra regardless of
 // scheduling.
 func (g *Graph) AllDijkstraParallel() *Metric {
-	n := len(g.adj)
-	dist := make([][]float64, n)
-	next := make([][]int32, n)
+	c := g.CSR()
+	n := c.N
+	dist, next := metricSlabs(n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -185,14 +209,15 @@ func (g *Graph) AllDijkstraParallel() *Metric {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			var scratch []int
+			sc := getScratch(n)
 			for {
 				s := int(cursor.Add(1)) - 1
 				if s >= n {
-					return
+					break
 				}
-				dist[s], next[s], scratch = g.apspRow(s, scratch)
+				apspRow(c, s, dist[s], next[s], sc)
 			}
+			putScratch(sc)
 		}()
 	}
 	wg.Wait()

@@ -49,3 +49,20 @@ func (u *UnionFind) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
 
 // Sets returns the current number of disjoint sets.
 func (u *UnionFind) Sets() int { return u.sets }
+
+// Reset reinitializes the forest to n singleton sets, reusing the
+// backing arrays when large enough. It lets a zero-value UnionFind be
+// recycled through a scratch pool without reallocating per use.
+func (u *UnionFind) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int, n)
+		u.rank = make([]int8, n)
+	}
+	u.parent = u.parent[:n]
+	u.rank = u.rank[:n]
+	for i := range u.parent {
+		u.parent[i] = i
+		u.rank[i] = 0
+	}
+	u.sets = n
+}

@@ -36,9 +36,9 @@ type Network struct {
 	net     *nfv.Network
 	chain   nfv.SFC
 	source  int
-	servers []int // physical IDs of candidate host nodes
-	rowOf   map[int]int
-	dg      *graph.Digraph
+	servers []int   // physical IDs of candidate host nodes
+	rowOf   []int32 // node -> row index, -1 for non-servers
+	dg      *graph.DCSR
 }
 
 // Overlay node ID layout: 0 is the source; for column j in [1..k] and
@@ -72,46 +72,70 @@ func Build(net *nfv.Network, source int, chain nfv.SFC) (*Network, error) {
 		chain:   append(nfv.SFC(nil), chain...),
 		source:  source,
 		servers: servers,
-		rowOf:   make(map[int]int, len(servers)),
+		rowOf:   make([]int32, net.NumNodes()),
+	}
+	for v := range m.rowOf {
+		m.rowOf[v] = -1
 	}
 	for r, v := range servers {
-		m.rowOf[v] = r
+		m.rowOf[v] = int32(r)
 	}
 	k := len(chain)
 	s := len(servers)
-	m.dg = graph.NewDigraph(1 + 2*k*s)
 
+	// The overlay's arc counts are known in closed form, so it is built
+	// directly into arc-exact CSR storage: a counting pass fills the
+	// per-node out-degrees, then the arcs are placed in the same order
+	// the adjacency-list construction used (so Dijkstra tie-breaking is
+	// unchanged). reachOut[ra] counts servers reachable from server ra,
+	// the out-degree of every column-j "out" node with j < k.
+	deg := make([]int32, 1+2*k*s)
+	reachOut := make([]int32, s)
 	reachable := false
-	for r, v := range servers {
-		// Source -> first column (Fig. 4 step 1).
-		if d := metric.Dist[source][v]; d != graph.Inf {
+	for ra, va := range servers {
+		if metric.Dist[source][va] != graph.Inf {
 			reachable = true
-			if err := m.dg.AddArc(0, m.inID(1, r), d); err != nil {
-				return nil, fmt.Errorf("mod: source arc: %w", err)
-			}
+			deg[0]++
 		}
-		// Virtual in->out arcs carrying setup costs, one per column.
 		for j := 1; j <= k; j++ {
-			cost := net.SetupCost(chain[j-1], v)
-			if err := m.dg.AddArc(m.inID(j, r), m.outID(j, r), cost); err != nil {
-				return nil, fmt.Errorf("mod: virtual arc: %w", err)
+			deg[m.inID(j, ra)]++ // virtual in->out arc
+		}
+		var cnt int32
+		for _, vb := range servers {
+			if metric.Dist[va][vb] != graph.Inf {
+				cnt++
 			}
 		}
+		reachOut[ra] = cnt
 	}
 	if !reachable {
 		return nil, ErrSourceUnreachable
+	}
+	for j := 1; j < k; j++ {
+		for ra := range servers {
+			deg[m.outID(j, ra)] = reachOut[ra]
+		}
+	}
+	m.dg = graph.NewDCSR(deg)
+
+	for r, v := range servers {
+		// Source -> first column (Fig. 4 step 1).
+		if d := metric.Dist[source][v]; d != graph.Inf {
+			m.dg.AddArc(0, m.inID(1, r), d)
+		}
+		// Virtual in->out arcs carrying setup costs, one per column.
+		for j := 1; j <= k; j++ {
+			m.dg.AddArc(m.inID(j, r), m.outID(j, r), net.SetupCost(chain[j-1], v))
+		}
 	}
 	// Column j out -> column j+1 in, fully connected with shortest-path
 	// costs (Algorithm 1 step 2).
 	for j := 1; j < k; j++ {
 		for ra, va := range servers {
+			da := metric.Dist[va]
 			for rb, vb := range servers {
-				d := metric.Dist[va][vb]
-				if d == graph.Inf {
-					continue
-				}
-				if err := m.dg.AddArc(m.outID(j, ra), m.inID(j+1, rb), d); err != nil {
-					return nil, fmt.Errorf("mod: column arc: %w", err)
+				if d := da[vb]; d != graph.Inf {
+					m.dg.AddArc(m.outID(j, ra), m.inID(j+1, rb), d)
 				}
 			}
 		}
@@ -150,19 +174,27 @@ func (m *Network) SolveSFC() *SFCSolution {
 // whole chain with its last VNF hosted on physical node v, or +Inf if
 // v is not a reachable server.
 func (s *SFCSolution) CostTo(v int) float64 {
-	r, ok := s.m.rowOf[v]
-	if !ok {
+	r := s.m.row(v)
+	if r < 0 {
 		return graph.Inf
 	}
 	return s.tree.Dist[s.m.outID(len(s.m.chain), r)]
+}
+
+// row returns v's server row index, or -1 when v is not a server.
+func (m *Network) row(v int) int {
+	if v < 0 || v >= len(m.rowOf) {
+		return -1
+	}
+	return int(m.rowOf[v])
 }
 
 // HostsTo returns the chain host sequence (one physical node per chain
 // position, repeats allowed) of the optimal embedding ending at v, or
 // nil if unreachable.
 func (s *SFCSolution) HostsTo(v int) []int {
-	r, ok := s.m.rowOf[v]
-	if !ok {
+	r := s.m.row(v)
+	if r < 0 {
 		return nil
 	}
 	goal := s.m.outID(len(s.m.chain), r)

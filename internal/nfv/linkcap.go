@@ -104,6 +104,7 @@ func (net *Network) ReweightedCopy(factor func(u, v int) float64) (*Network, err
 	c := net.Clone()
 	c.g = g2
 	c.metric = nil // distances changed
+	c.metricFn = nil
 	return c, nil
 }
 

@@ -56,7 +56,17 @@ type Network struct {
 	deployed [][]bool    // [vnf][node]
 	setup    [][]float64 // [vnf][node]
 	linkCap  map[[2]int]int
-	metric   *graph.Metric
+	// metric is the cached all-pairs closure, stamped with the graph
+	// generation it was computed at so topology mutations invalidate
+	// it instead of silently serving stale distances. metricFn, when
+	// set, supplies the closure instead of a local APSP run — the hook
+	// faults.State uses to share one closure across materializations
+	// of the same degraded topology.
+	metric    *graph.Metric
+	metricGen uint64
+	metricFn  func() *graph.Metric
+	// servers caches ServerList; SetServer invalidates it.
+	servers []int
 }
 
 // newGraphLike returns an empty graph with the same node count.
@@ -134,6 +144,7 @@ func (net *Network) SetServer(v int, capacity float64) error {
 	}
 	net.isServer[v] = true
 	net.capacity[v] = capacity
+	net.servers = nil // invalidate the cached server list
 	return nil
 }
 
@@ -145,15 +156,29 @@ func (net *Network) IsServer(v int) bool {
 // Capacity returns node v's total deployment capacity.
 func (net *Network) Capacity(v int) float64 { return net.capacity[v] }
 
-// Servers returns the IDs of all server nodes.
+// Servers returns the IDs of all server nodes. The returned slice is
+// a copy and may be modified freely; hot loops that only iterate
+// should prefer ServerList.
 func (net *Network) Servers() []int {
-	var out []int
-	for v, ok := range net.isServer {
-		if ok {
-			out = append(out, v)
+	list := net.ServerList()
+	if list == nil {
+		return nil
+	}
+	return append([]int(nil), list...)
+}
+
+// ServerList returns the server node IDs in ascending order. The
+// slice is cached and shared: callers must treat it as read-only (use
+// Servers for a mutable copy). It is rebuilt after SetServer.
+func (net *Network) ServerList() []int {
+	if net.servers == nil {
+		for v, ok := range net.isServer {
+			if ok {
+				net.servers = append(net.servers, v)
+			}
 		}
 	}
-	return out
+	return net.servers
 }
 
 // SetSetupCost sets the cost gamma of deploying a new instance of VNF f
@@ -238,28 +263,57 @@ func (net *Network) FreeCapacity(v int) float64 {
 }
 
 // Metric returns the cached all-pairs shortest-path metric, computing
-// it on first use. The topology must not change after the first call.
-// The APSP routine is auto-selected by size and edge density
+// it on first use and recomputing when the graph has mutated since
+// (the cache is stamped with graph.Generation). First use is not
+// goroutine-safe; warm the cache before sharing the network across
+// solvers. The APSP routine is auto-selected by size and edge density
 // (Floyd-Warshall for small or dense networks, parallel Dijkstra for
 // large sparse ones); see graph.APSPAuto.
 func (net *Network) Metric() *graph.Metric {
-	if net.metric == nil {
+	if net.metric != nil && net.metricGen == net.g.Generation() {
+		return net.metric
+	}
+	if net.metricFn != nil {
+		net.metric = net.metricFn()
+	} else {
 		net.metric = net.g.APSPAuto()
 	}
+	net.metricGen = net.g.Generation()
 	return net.metric
+}
+
+// MetricCached reports whether the next Metric call returns the
+// cached closure without an APSP build. Solver instrumentation uses
+// it to attribute zero APSP time to warm-metric solves.
+func (net *Network) MetricCached() bool {
+	return net.metric != nil && net.metricGen == net.g.Generation()
+}
+
+// SetMetricSupplier installs fn as the source of the metric closure:
+// the next Metric call invokes it instead of running APSP locally.
+// The supplier must return a closure valid for the network's current
+// topology. faults.State uses this to hand repeated materializations
+// of one degraded topology the same shared closure, eliminating the
+// per-Rebase APSP rebuild.
+func (net *Network) SetMetricSupplier(fn func() *graph.Metric) {
+	net.metricFn = fn
+	net.metric = nil
 }
 
 // Clone returns a deep copy of the network sharing nothing with the
 // original except the immutable graph and metric.
 func (net *Network) Clone() *Network {
 	c := &Network{
-		g:        net.g,
-		isServer: append([]bool(nil), net.isServer...),
-		capacity: append([]float64(nil), net.capacity...),
-		catalog:  append([]VNF(nil), net.catalog...),
-		deployed: make([][]bool, len(net.deployed)),
-		setup:    make([][]float64, len(net.setup)),
-		metric:   net.metric,
+		g:         net.g,
+		isServer:  append([]bool(nil), net.isServer...),
+		capacity:  append([]float64(nil), net.capacity...),
+		catalog:   append([]VNF(nil), net.catalog...),
+		deployed:  make([][]bool, len(net.deployed)),
+		setup:     make([][]float64, len(net.setup)),
+		metric:    net.metric,
+		metricGen: net.metricGen,
+		metricFn:  net.metricFn,
+		servers:   net.servers, // shared read-only; SetServer replaces, never mutates
 	}
 	if net.coords != nil {
 		c.coords = append([]Point(nil), net.coords...)

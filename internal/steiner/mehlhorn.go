@@ -15,28 +15,42 @@ import (
 // the terminals within the same 2(1-1/t) factor as KMB but in
 // O(E log V) — no all-pairs metric required, which is why stage one
 // offers it for very large networks.
+//
+// The Dijkstra sweep runs over the graph's CSR form with pooled
+// buffers; candidate bridges live in flat t*t matrices instead of a
+// map, and MST ties are broken by edge id so results are
+// deterministic.
 func Mehlhorn(g *graph.Graph, terminals []int) (Tree, error) {
-	terminals = dedupTerminals(terminals)
+	ws := getWS()
+	defer putWS(ws)
+	terminals = ws.dedup(terminals, g.NumNodes())
 	switch len(terminals) {
 	case 0:
 		return Tree{}, ErrNoTerminals
 	case 1:
 		return Tree{}, nil
 	}
-	n := g.NumNodes()
-	dist := make([]float64, n)
-	parent := make([]int, n) // predecessor towards the region's terminal
-	region := make([]int, n) // index into terminals
+	c := g.CSR()
+	n := c.N
+	if cap(ws.dist) < n {
+		ws.dist = make([]float64, n)
+		ws.parent = make([]int, n)
+		ws.region = make([]int32, n)
+	}
+	dist := ws.dist[:n]
+	parent := ws.parent[:n] // predecessor towards the region's terminal
+	region := ws.region[:n] // index into terminals
 	for v := 0; v < n; v++ {
 		dist[v] = graph.Inf
 		parent[v] = -1
 		region[v] = -1
 	}
 	// Multi-source Dijkstra.
-	h := graph.NewNodeHeap(n)
+	h := &ws.heap
+	h.Reset(n)
 	for i, t := range terminals {
 		dist[t] = 0
-		region[t] = i
+		region[t] = int32(i)
 		h.Push(t, 0)
 	}
 	for h.Len() > 0 {
@@ -44,80 +58,96 @@ func Mehlhorn(g *graph.Graph, terminals []int) (Tree, error) {
 		if du > dist[u] {
 			continue
 		}
-		for _, a := range g.Neighbors(u) {
-			if nd := du + a.Cost; nd < dist[a.To] {
-				dist[a.To] = nd
-				parent[a.To] = u
-				region[a.To] = region[u]
-				h.Push(a.To, nd)
+		for p, end := c.Start[u], c.Start[u+1]; p < end; p++ {
+			v := int(c.To[p])
+			if nd := du + c.Cost[p]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				region[v] = region[u]
+				h.Push(v, nd)
 			}
 		}
 	}
 	// (Disconnected terminals surface below: their regions never merge.)
 
-	// Candidate bridging edges between regions: keep the cheapest per
-	// terminal pair.
-	type bridge struct {
-		edge int // bridging edge id
-		w    float64
+	// Candidate bridging edges between regions: the cheapest per
+	// terminal pair, kept in flat t*t matrices (upper triangle used).
+	t := len(terminals)
+	if cap(ws.bridgeW) < t*t {
+		ws.bridgeW = make([]float64, t*t)
+		ws.bridgeE = make([]int32, t*t)
 	}
-	best := make(map[[2]int]bridge)
+	bridgeW := ws.bridgeW[:t*t]
+	bridgeE := ws.bridgeE[:t*t]
+	for i := range bridgeW {
+		bridgeW[i] = graph.Inf
+		bridgeE[i] = -1
+	}
+	cands := ws.pairs[:0] // (ru, rv) pairs with a bridge, ru < rv
 	for id := 0; id < g.NumEdges(); id++ {
 		e := g.Edge(id)
 		ru, rv := region[e.U], region[e.V]
 		if ru == rv || ru == -1 || rv == -1 {
 			continue
 		}
-		key := [2]int{ru, rv}
-		if key[0] > key[1] {
-			key[0], key[1] = key[1], key[0]
+		if ru > rv {
+			ru, rv = rv, ru
 		}
 		w := dist[e.U] + e.Cost + dist[e.V]
-		if b, ok := best[key]; !ok || w < b.w {
-			best[key] = bridge{edge: id, w: w}
+		at := int(ru)*t + int(rv)
+		if bridgeE[at] == -1 {
+			cands = append(cands, [2]int32{ru, rv})
+		}
+		if w < bridgeW[at] {
+			bridgeW[at] = w
+			bridgeE[at] = int32(id)
 		}
 	}
-	if len(best) == 0 {
+	ws.pairs = cands
+	if len(cands) == 0 {
 		return Tree{}, fmt.Errorf("%w: terminals not mutually reachable", ErrUnreachable)
 	}
 
-	// MST over the terminal-region graph (Kruskal).
-	type candidate struct {
-		key [2]int
-		bridge
-	}
-	cands := make([]candidate, 0, len(best))
-	for key, b := range best {
-		cands = append(cands, candidate{key: key, bridge: b})
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].w < cands[b].w })
-	uf := graph.NewUnionFind(len(terminals))
-	edgeSet := make(map[int]bool)
+	// MST over the terminal-region graph (Kruskal; ties by edge id for
+	// a deterministic tree).
+	sort.Slice(cands, func(a, b int) bool {
+		wa := bridgeW[int(cands[a][0])*t+int(cands[a][1])]
+		wb := bridgeW[int(cands[b][0])*t+int(cands[b][1])]
+		if wa != wb {
+			return wa < wb
+		}
+		return bridgeE[int(cands[a][0])*t+int(cands[a][1])] < bridgeE[int(cands[b][0])*t+int(cands[b][1])]
+	})
+	uf := &ws.uf
+	uf.Reset(t)
+	ws.bumpEdges(g.NumEdges())
 	joined := 1
-	for _, c := range cands {
-		if !uf.Union(c.key[0], c.key[1]) {
+	badU, badV := -1, -1
+	for _, cand := range cands {
+		if !uf.Union(int(cand[0]), int(cand[1])) {
 			continue
 		}
 		joined++
 		// Expand: walk both endpoints back to their terminals.
-		e := g.Edge(c.edge)
-		edgeSet[c.edge] = true
-		for _, start := range []int{e.U, e.V} {
+		id := int(bridgeE[int(cand[0])*t+int(cand[1])])
+		e := g.Edge(id)
+		ws.markEdge(id)
+		for _, start := range [2]int{e.U, e.V} {
 			for x := start; parent[x] != -1; x = parent[x] {
-				id, ok := cheapestEdgeBetween(g, x, parent[x])
+				hop, ok := cheapestEdgeBetween(g, x, parent[x])
 				if !ok {
-					return Tree{}, fmt.Errorf("steiner: voronoi path uses non-edge %d-%d", x, parent[x])
+					badU, badV = x, parent[x]
+					break
 				}
-				edgeSet[id] = true
+				ws.markEdge(hop)
 			}
 		}
 	}
-	if joined < len(terminals) {
+	if badU != -1 {
+		return Tree{}, fmt.Errorf("steiner: voronoi path uses non-edge %d-%d", badU, badV)
+	}
+	if joined < t {
 		return Tree{}, fmt.Errorf("%w: voronoi forest disconnected", ErrUnreachable)
 	}
-	edges := make([]int, 0, len(edgeSet))
-	for id := range edgeSet {
-		edges = append(edges, id)
-	}
-	return treeFromEdges(g, Prune(g, mstOfEdgeSubset(g, edges), terminals)), nil
+	return treeFromEdges(g, ws.prune(g, ws.mstOfCollected(g), terminals)), nil
 }

@@ -64,8 +64,13 @@ func dedupTerminals(terminals []int) []int {
 // terminals, expansion of closure edges into shortest paths, MST of the
 // expansion, and pruning of non-terminal leaves. The result is within
 // 2(1-1/|terminals|) of optimal. m must be the metric of g.
+//
+// All transient state lives in a pooled workspace; the only
+// allocations on the happy path are the returned Tree's edges.
 func KMB(g *graph.Graph, m *graph.Metric, terminals []int) (Tree, error) {
-	terminals = dedupTerminals(terminals)
+	ws := getWS()
+	defer putWS(ws)
+	terminals = ws.dedup(terminals, g.NumNodes())
 	switch len(terminals) {
 	case 0:
 		return Tree{}, ErrNoTerminals
@@ -80,16 +85,15 @@ func KMB(g *graph.Graph, m *graph.Metric, terminals []int) (Tree, error) {
 
 	// 1. MST of the metric closure over terminals (Prim, O(t^2)).
 	t := len(terminals)
-	inTree := make([]bool, t)
-	bestD := make([]float64, t)
-	bestFrom := make([]int, t)
-	for i := range bestD {
+	ws.growTerms(t)
+	inTree, bestD, bestFrom := ws.tIn, ws.tDist, ws.tFrom
+	for i := 0; i < t; i++ {
+		inTree[i] = false
 		bestD[i] = graph.Inf
 		bestFrom[i] = -1
 	}
 	bestD[0] = 0
-	type closureEdge struct{ a, b int } // indices into terminals
-	closure := make([]closureEdge, 0, t-1)
+	closure := ws.pairs[:0] // (a, b) indices into terminals
 	for range terminals {
 		pick := -1
 		for i := 0; i < t; i++ {
@@ -99,40 +103,38 @@ func KMB(g *graph.Graph, m *graph.Metric, terminals []int) (Tree, error) {
 		}
 		inTree[pick] = true
 		if bestFrom[pick] >= 0 {
-			closure = append(closure, closureEdge{a: bestFrom[pick], b: pick})
+			closure = append(closure, [2]int32{bestFrom[pick], int32(pick)})
 		}
 		for i := 0; i < t; i++ {
 			if !inTree[i] {
 				if d := m.Dist[terminals[pick]][terminals[i]]; d < bestD[i] {
 					bestD[i] = d
-					bestFrom[i] = pick
+					bestFrom[i] = int32(pick)
 				}
 			}
 		}
 	}
+	ws.pairs = closure
 
 	// 2. Expand closure edges into shortest paths; collect distinct edges.
-	edgeSet := make(map[int]bool)
+	ws.bumpEdges(g.NumEdges())
+	badU, badV := -1, -1
 	for _, ce := range closure {
-		path := m.Path(terminals[ce.a], terminals[ce.b])
-		for i := 1; i < len(path); i++ {
-			id, ok := cheapestEdgeBetween(g, path[i-1], path[i])
+		m.EachHop(terminals[ce[0]], terminals[ce[1]], func(x, y int) {
+			id, ok := cheapestEdgeBetween(g, x, y)
 			if !ok {
-				return Tree{}, fmt.Errorf("steiner: metric path uses non-edge %d-%d", path[i-1], path[i])
+				badU, badV = x, y
+				return
 			}
-			edgeSet[id] = true
-		}
+			ws.markEdge(id)
+		})
 	}
-	subEdges := make([]int, 0, len(edgeSet))
-	for id := range edgeSet {
-		subEdges = append(subEdges, id)
+	if badU != -1 {
+		return Tree{}, fmt.Errorf("steiner: metric path uses non-edge %d-%d", badU, badV)
 	}
 
-	// 3. MST of the expansion subgraph.
-	mstEdges := mstOfEdgeSubset(g, subEdges)
-
-	// 4. Prune non-terminal leaves.
-	pruned := Prune(g, mstEdges, terminals)
+	// 3. MST of the expansion subgraph; 4. prune non-terminal leaves.
+	pruned := ws.prune(g, ws.mstOfCollected(g), terminals)
 	return treeFromEdges(g, pruned), nil
 }
 
@@ -198,46 +200,13 @@ func TakahashiMatsuyama(g *graph.Graph, m *graph.Metric, root int, terminals []i
 }
 
 // Prune repeatedly removes edges incident to non-terminal leaves,
-// returning the surviving edge indices.
+// returning the surviving edge indices sorted ascending. The fixed
+// point of leaf pruning is unique, so removal order does not matter.
 func Prune(g *graph.Graph, edgeIDs []int, terminals []int) []int {
-	isTerminal := make(map[int]bool, len(terminals))
-	for _, v := range terminals {
-		isTerminal[v] = true
-	}
-	alive := make(map[int]bool, len(edgeIDs))
-	degree := make(map[int]int)
-	for _, id := range edgeIDs {
-		alive[id] = true
-		e := g.Edge(id)
-		degree[e.U]++
-		degree[e.V]++
-	}
-	for {
-		removed := false
-		for id := range alive {
-			e := g.Edge(id)
-			for _, v := range []int{e.U, e.V} {
-				if degree[v] == 1 && !isTerminal[v] {
-					delete(alive, id)
-					degree[e.U]--
-					degree[e.V]--
-					removed = true
-					break
-				}
-			}
-			if removed {
-				break
-			}
-		}
-		if !removed {
-			break
-		}
-	}
-	out := make([]int, 0, len(alive))
-	for id := range alive {
-		out = append(out, id)
-	}
-	return out
+	ws := getWS()
+	defer putWS(ws)
+	ids := append([]int(nil), edgeIDs...)
+	return ws.prune(g, ids, terminals)
 }
 
 // cheapestEdgeBetween returns the index of the cheapest edge joining u
@@ -271,10 +240,12 @@ func mstOfEdgeSubset(g *graph.Graph, edgeIDs []int) []int {
 	return picked
 }
 
+// treeFromEdges copies the edge ids into a fresh Tree: callers hand
+// it workspace-owned slices that are recycled after return.
 func treeFromEdges(g *graph.Graph, edgeIDs []int) Tree {
 	var cost float64
 	for _, id := range edgeIDs {
 		cost += g.Edge(id).Cost
 	}
-	return Tree{Edges: edgeIDs, Cost: cost}
+	return Tree{Edges: append([]int(nil), edgeIDs...), Cost: cost}
 }

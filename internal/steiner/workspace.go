@@ -1,0 +1,207 @@
+package steiner
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"sftree/internal/graph"
+)
+
+// workspace is the reusable scratch arena behind the Steiner
+// routines. Stage one runs one Steiner construction per candidate
+// last-host, so the transient maps and slices the textbook
+// formulations allocate dominated the solver's allocation profile;
+// the workspace replaces them with epoch-marked flat arrays recycled
+// through a sync.Pool. Acquire with getWS, release with putWS on the
+// same call path; nothing reachable from the workspace may escape
+// into a returned Tree.
+type workspace struct {
+	// nodeMark/nodeGen: epoch membership marks over graph nodes
+	// (terminal sets, dedup). A node is marked iff nodeMark[v] == nodeGen.
+	nodeMark []int32
+	nodeGen  int32
+	// edgeMark/edgeGen: epoch membership marks over graph edges, with
+	// the distinct marked ids collected in order into edges.
+	edgeMark []int32
+	edgeGen  int32
+	edges    []int
+	// alive[i] tracks survival of edges[i] during pruning.
+	alive []bool
+	// deg holds node degrees during pruning; always restored to zero.
+	deg []int32
+	// Multi-source Dijkstra state (Mehlhorn).
+	dist   []float64
+	parent []int
+	region []int32
+	heap   graph.NodeHeap
+	// uf serves both Kruskal over nodes and the terminal-region MST.
+	uf graph.UnionFind
+	// Terminal-sized buffers.
+	terms []int
+	tDist []float64
+	tFrom []int32
+	tIn   []bool
+	pairs [][2]int32
+	// Bridge matrices (Mehlhorn), t*t flattened.
+	bridgeW []float64
+	bridgeE []int32
+}
+
+var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+
+func getWS() *workspace   { return wsPool.Get().(*workspace) }
+func putWS(ws *workspace) { wsPool.Put(ws) }
+
+// bumpNodes starts a fresh node-mark epoch covering nodes in [0, n).
+func (ws *workspace) bumpNodes(n int) {
+	if cap(ws.nodeMark) < n {
+		ws.nodeMark = make([]int32, n)
+		ws.nodeGen = 0
+	}
+	ws.nodeMark = ws.nodeMark[:n]
+	if ws.nodeGen == math.MaxInt32 {
+		for i := range ws.nodeMark {
+			ws.nodeMark[i] = 0
+		}
+		ws.nodeGen = 0
+	}
+	ws.nodeGen++
+}
+
+// markNode marks v in the current epoch, reporting whether it was new.
+func (ws *workspace) markNode(v int) bool {
+	if ws.nodeMark[v] == ws.nodeGen {
+		return false
+	}
+	ws.nodeMark[v] = ws.nodeGen
+	return true
+}
+
+func (ws *workspace) nodeMarked(v int) bool { return ws.nodeMark[v] == ws.nodeGen }
+
+// bumpEdges starts a fresh edge-mark epoch covering edges in [0, m)
+// and resets the collected-edge list.
+func (ws *workspace) bumpEdges(m int) {
+	if cap(ws.edgeMark) < m {
+		ws.edgeMark = make([]int32, m)
+		ws.edgeGen = 0
+	}
+	ws.edgeMark = ws.edgeMark[:m]
+	if ws.edgeGen == math.MaxInt32 {
+		for i := range ws.edgeMark {
+			ws.edgeMark[i] = 0
+		}
+		ws.edgeGen = 0
+	}
+	ws.edgeGen++
+	ws.edges = ws.edges[:0]
+}
+
+// markEdge adds id to the collected set once per epoch.
+func (ws *workspace) markEdge(id int) {
+	if ws.edgeMark[id] != ws.edgeGen {
+		ws.edgeMark[id] = ws.edgeGen
+		ws.edges = append(ws.edges, id)
+	}
+}
+
+// dedup fills ws.terms with the unique terminals in first-seen order.
+func (ws *workspace) dedup(terminals []int, n int) []int {
+	ws.bumpNodes(n)
+	out := ws.terms[:0]
+	for _, v := range terminals {
+		if ws.markNode(v) {
+			out = append(out, v)
+		}
+	}
+	ws.terms = out
+	return out
+}
+
+// growTerms sizes the terminal-indexed Prim buffers.
+func (ws *workspace) growTerms(t int) {
+	if cap(ws.tDist) < t {
+		ws.tDist = make([]float64, t)
+		ws.tFrom = make([]int32, t)
+		ws.tIn = make([]bool, t)
+	}
+	ws.tDist = ws.tDist[:t]
+	ws.tFrom = ws.tFrom[:t]
+	ws.tIn = ws.tIn[:t]
+}
+
+// mstOfCollected runs Kruskal over ws.edges (in place), keeping the
+// edges of a minimum spanning forest. Ties are broken by edge id, so
+// the result is deterministic regardless of collection order.
+func (ws *workspace) mstOfCollected(g *graph.Graph) []int {
+	ids := ws.edges
+	sort.Slice(ids, func(a, b int) bool {
+		ca, cb := g.Edge(ids[a]).Cost, g.Edge(ids[b]).Cost
+		if ca != cb {
+			return ca < cb
+		}
+		return ids[a] < ids[b]
+	})
+	ws.uf.Reset(g.NumNodes())
+	w := 0
+	for _, id := range ids {
+		e := g.Edge(id)
+		if ws.uf.Union(e.U, e.V) {
+			ids[w] = id
+			w++
+		}
+	}
+	ws.edges = ids[:w]
+	return ws.edges
+}
+
+// prune removes edges incident to non-terminal leaves from ids (in
+// place) until a fixed point, returning the survivors sorted by id.
+func (ws *workspace) prune(g *graph.Graph, ids []int, terminals []int) []int {
+	ws.bumpNodes(g.NumNodes())
+	for _, v := range terminals {
+		ws.markNode(v)
+	}
+	if cap(ws.deg) < g.NumNodes() {
+		ws.deg = make([]int32, g.NumNodes())
+	}
+	deg := ws.deg[:g.NumNodes()]
+	if cap(ws.alive) < len(ids) {
+		ws.alive = make([]bool, len(ids))
+	}
+	alive := ws.alive[:len(ids)]
+	for i, id := range ids {
+		alive[i] = true
+		e := g.Edge(id)
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, id := range ids {
+			if !alive[i] {
+				continue
+			}
+			e := g.Edge(id)
+			if (deg[e.U] == 1 && !ws.nodeMarked(e.U)) || (deg[e.V] == 1 && !ws.nodeMarked(e.V)) {
+				alive[i] = false
+				deg[e.U]--
+				deg[e.V]--
+				changed = true
+			}
+		}
+	}
+	w := 0
+	for i, id := range ids {
+		e := g.Edge(id)
+		deg[e.U], deg[e.V] = 0, 0 // restore the shared degree array
+		if alive[i] {
+			ids[w] = id
+			w++
+		}
+	}
+	out := ids[:w]
+	sort.Ints(out)
+	return out
+}

@@ -5,7 +5,7 @@
 # observability smoke test. CI and pre-commit should both call this;
 # it exits non-zero on the first failure.
 #
-#   ./tools.sh          # vet + gofmt + race tests + chaos + conformance + obs
+#   ./tools.sh          # vet + gofmt + race tests + chaos + conformance + bench + obs
 #   ./tools.sh quick    # vet + gofmt only (skip the race run and smoke)
 #   ./tools.sh obs      # obs smoke only: build cmds, boot sftserve,
 #                       # assert /healthz /readyz /metrics respond
@@ -17,6 +17,12 @@
 #                       # solver through the shared validator. The seed
 #                       # (default 1) makes failures reproduce
 #                       # byte-for-byte: rerun with the printed seed.
+#   ./tools.sh bench    # perf gate only: re-measure the gate benchmarks
+#                       # against the checked-in BENCH_core.json and
+#                       # fail on >5% ns/op or >10% allocs/op
+#                       # regressions. Regenerate the baseline after an
+#                       # intentional perf change with
+#                       #   go run ./cmd/sftbench -json BENCH_core.json
 
 set -eu
 
@@ -85,8 +91,23 @@ conformance_gate() {
 	echo "OK (conformance gate, seed $seed)"
 }
 
+# bench_gate re-measures the gate benchmarks (best of three each)
+# against the checked-in baseline snapshot and fails on a >5% ns/op or
+# >10% allocs/op regression. Single-sample best-of-three is a smoke
+# gate, not benchstat — see EXPERIMENTS.md for the careful protocol.
+bench_gate() {
+	echo "==> perf gate: sftbench -gate BENCH_core.json"
+	go run ./cmd/sftbench -gate BENCH_core.json
+	echo "OK (perf gate)"
+}
+
 if [ "${1:-}" = "conformance" ]; then
 	conformance_gate "${2:-1}"
+	exit 0
+fi
+
+if [ "${1:-}" = "bench" ]; then
+	bench_gate
 	exit 0
 fi
 
@@ -122,6 +143,8 @@ go test -race -timeout 10m ./...
 chaos_gate
 
 conformance_gate "${CONFORM_SEED:-1}"
+
+bench_gate
 
 obs_smoke
 
