@@ -1,0 +1,703 @@
+// Command sftload is an open-loop, coordinated-omission-safe load
+// generator for the sftserve session API. It pre-computes a seeded
+// Poisson arrival schedule (fixed -seed => identical workload every
+// run), fires each admission at its *scheduled* instant regardless of
+// how slow the server is, and measures admission latency from that
+// scheduled instant — so a stalled server inflates the tail instead of
+// silently thinning the offered load (no coordinated omission).
+//
+// Each admitted session holds for an exponentially distributed time
+// (-hold mean) and is then released, so the server reaches a steady
+// state of live sessions proportional to rate×hold (Little's law).
+// Tasks are sampled from a configurable chain-signature mix
+// ("destsxchain:weight" terms), and -faults injects periodic link
+// flap + Rebase cycles that exercise the repair ladder and the
+// per-down-set APSP cache.
+//
+// By default sftload serves its own in-process sftserve (httptest) on
+// a generated network; -url points it at a live server instead, in
+// which case -nodes/-seed must match the server's so sampled tasks
+// reference valid node IDs.
+//
+// Output: one table row per offered rate (sustained admissions/sec,
+// p50/p95/p99/p999 scheduled-start latency, rejection rate) plus a
+// machine-readable BENCH_load.json via -out. -check turns the run
+// into a smoke gate: it fails unless admissions happened, nothing was
+// dropped, /metrics shows warm metric-cache and APSP-cache hit rates,
+// and /debug/traces carries a request-ID-stamped admission trace.
+//
+// Usage:
+//
+//	sftload -rates 4,16,64 -duration 5s -out BENCH_load.json
+//	sftload -url http://host:8080 -nodes 50 -seed 1 -rates 32
+//	sftload -rates 24 -duration 5s -faults 2 -check
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sftree"
+	"sftree/internal/core"
+	"sftree/internal/dynamic"
+	"sftree/internal/faults"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+	"sftree/internal/obs"
+	"sftree/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sftload:", err)
+		os.Exit(1)
+	}
+}
+
+// sig is one term of the chain-signature mix: tasks with |D|=dests
+// destinations and a chain of chainLen VNFs, drawn with the given
+// weight.
+type sig struct {
+	dests, chainLen int
+	weight          float64
+}
+
+// parseMix parses "2x3:2,4x3:1,8x5:1" into signature terms.
+func parseMix(s string) ([]sig, error) {
+	var out []sig
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		shape, w := term, 1.0
+		if i := strings.IndexByte(term, ':'); i >= 0 {
+			shape = term[:i]
+			f, err := strconv.ParseFloat(term[i+1:], 64)
+			if err != nil || f <= 0 {
+				return nil, fmt.Errorf("mix term %q: bad weight", term)
+			}
+			w = f
+		}
+		d, c, ok := strings.Cut(shape, "x")
+		if !ok {
+			return nil, fmt.Errorf("mix term %q: want destsxchain[:weight]", term)
+		}
+		dn, err1 := strconv.Atoi(d)
+		cn, err2 := strconv.Atoi(c)
+		if err1 != nil || err2 != nil || dn < 1 || cn < 1 {
+			return nil, fmt.Errorf("mix term %q: bad shape", term)
+		}
+		out = append(out, sig{dests: dn, chainLen: cn, weight: w})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty chain-signature mix")
+	}
+	return out, nil
+}
+
+// arrival is one pre-scheduled admission: its offset from the run
+// start, the task it submits, and how long the session holds before
+// release (0 = never released).
+type arrival struct {
+	at   time.Duration
+	task nfv.Task
+	hold time.Duration
+	warm bool // fell inside the warmup window: excluded from stats
+}
+
+// makePlan pre-generates the full arrival schedule for one rate point
+// from a private seeded rng, so the offered workload is a pure
+// function of (seed, rate, windows, mix) — runtime jitter never feeds
+// back into what is offered.
+func makePlan(net *nfv.Network, rng *rand.Rand, rate float64, warmup, window time.Duration, mix []sig, holdMean time.Duration) ([]arrival, error) {
+	var totalW float64
+	for _, m := range mix {
+		totalW += m.weight
+	}
+	var plan []arrival
+	total := warmup + window
+	for t := time.Duration(float64(time.Second) * rng.ExpFloat64() / rate); t < total; t += time.Duration(float64(time.Second) * rng.ExpFloat64() / rate) {
+		pick := rng.Float64() * totalW
+		m := mix[len(mix)-1]
+		for _, cand := range mix {
+			if pick -= cand.weight; pick < 0 {
+				m = cand
+				break
+			}
+		}
+		task, err := netgen.GenerateTask(net, rng, m.dests, m.chainLen)
+		if err != nil {
+			return nil, fmt.Errorf("sample task %dx%d: %w", m.dests, m.chainLen, err)
+		}
+		var hold time.Duration
+		if holdMean > 0 {
+			hold = time.Duration(float64(holdMean) * rng.ExpFloat64())
+		}
+		plan = append(plan, arrival{at: t, task: task, hold: hold, warm: t < warmup})
+	}
+	return plan, nil
+}
+
+// outcome classifies one completed admission attempt.
+type outcome int
+
+const (
+	outAdmitted outcome = iota
+	outRejected         // 409: the network could not host the session
+	outError            // transport or unexpected server error
+)
+
+// sample is one completed admission measurement.
+type sample struct {
+	measured bool
+	out      outcome
+	latMs    float64
+}
+
+// collector gathers samples from concurrent admission goroutines; the
+// mutex (not per-slot slices) keeps late stragglers race-free against
+// the post-drain reader.
+type collector struct {
+	mu      sync.Mutex
+	samples []sample
+}
+
+func (c *collector) add(s sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() []sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]sample(nil), c.samples...)
+}
+
+// latencySummary reports exact percentiles over the measured samples.
+type latencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// exactQuantile returns the q-quantile of sorted (nearest-rank).
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func summarize(lats []float64) latencySummary {
+	if len(lats) == 0 {
+		return latencySummary{}
+	}
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return latencySummary{
+		P50:  exactQuantile(sorted, 0.50),
+		P95:  exactQuantile(sorted, 0.95),
+		P99:  exactQuantile(sorted, 0.99),
+		P999: exactQuantile(sorted, 0.999),
+		Mean: sum / float64(len(sorted)),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// point is one offered-rate measurement: the row of the
+// rejection-rate-vs-offered-load curve.
+type point struct {
+	OfferedRate   float64        `json:"offered_rate"`
+	Offered       int            `json:"offered"`  // scheduled arrivals in the measured window
+	Admitted      int            `json:"admitted"` // measured-window admissions
+	Rejected      int            `json:"rejected"`
+	Errors        int            `json:"errors"`
+	Dropped       int            `json:"dropped"` // scheduled but unfinished at drain end
+	AdmitsPerSec  float64        `json:"admits_per_sec"`
+	RejectionRate float64        `json:"rejection_rate"`
+	Latency       latencySummary `json:"latency"`
+}
+
+// loadDoc is the BENCH_load.json artifact.
+type loadDoc struct {
+	Schema    string    `json:"schema"`
+	Generated time.Time `json:"generated"`
+	Config    struct {
+		URL         string  `json:"url,omitempty"` // empty: in-process server
+		Nodes       int     `json:"nodes"`
+		Seed        int64   `json:"seed"`
+		Mix         string  `json:"mix"`
+		Rates       string  `json:"rates"`
+		DurationSec float64 `json:"duration_sec"`
+		WarmupSec   float64 `json:"warmup_sec"`
+		HoldSec     float64 `json:"hold_sec"`
+		Faults      int     `json:"faults"`
+		Parallelism int     `json:"parallelism"`
+	} `json:"config"`
+	Points []point `json:"points"`
+	// Metrics excerpts the server's /metrics floats (cache hit rates,
+	// pool reuse rates) and key counters after the run.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Trace is one request-ID-stamped admission trace pulled from
+	// /debug/traces, proving end-to-end propagation.
+	Trace *obs.Trace `json:"trace,omitempty"`
+}
+
+// world is the system under test: either a remote server (URL only)
+// or an in-process one whose manager and fault state we can reach for
+// link flapping.
+type world struct {
+	url    string
+	client *server.Client
+	// self-serve only:
+	ts           *httptest.Server
+	mgr          *dynamic.Manager
+	state        *faults.State
+	flapU, flapV int
+	canFlap      bool
+}
+
+func (w *world) close() {
+	if w.ts != nil {
+		w.ts.Close()
+	}
+}
+
+// flap applies one fault event and rebases the manager onto the
+// re-materialized substrate, carrying live deployments over.
+func (w *world) flap(ev faults.Event) {
+	if err := w.state.Apply(ev); err != nil {
+		return
+	}
+	if deg, err := w.state.Materialize(w.mgr.Network()); err == nil {
+		w.mgr.Rebase(deg)
+	}
+}
+
+// pickFlapEdge finds the first link whose loss keeps a probe task
+// solvable, so fault cycles degrade without making the whole run
+// infeasible. The probe materialization also primes the per-down-set
+// APSP cache: every in-run flap of this edge is then a cache hit.
+func pickFlapEdge(net *nfv.Network, st *faults.State, probe nfv.Task) (u, v int, ok bool) {
+	g := net.Graph()
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.Edge(id)
+		if err := st.Apply(faults.Event{Kind: faults.LinkDown, U: e.U, V: e.V}); err != nil {
+			continue
+		}
+		if deg, err := st.Materialize(net); err == nil {
+			if _, err := core.Solve(deg, probe, core.Options{}); err == nil {
+				_ = st.Apply(faults.Event{Kind: faults.LinkUp, U: e.U, V: e.V})
+				return e.U, e.V, true
+			}
+		}
+		_ = st.Apply(faults.Event{Kind: faults.LinkUp, U: e.U, V: e.V})
+	}
+	return 0, 0, false
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sftload", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "", "drive a running sftserve at this base URL (default: serve in-process)")
+		nodes    = fs.Int("nodes", 50, "generated network size (must match the remote server's -nodes)")
+		seed     = fs.Int64("seed", 1, "workload and network seed (must match the remote server's -seed)")
+		rates    = fs.String("rates", "8,32,128", "comma-separated offered admission rates (arrivals/sec), one curve point each")
+		duration = fs.Duration("duration", 5*time.Second, "measured window per rate point")
+		warmup   = fs.Duration("warmup", 1*time.Second, "per-point warmup excluded from stats")
+		hold     = fs.Duration("hold", 2*time.Second, "mean exponential session holding time before release (0 = never release)")
+		mixStr   = fs.String("mix", "2x2:2,4x3:2,8x5:1", "chain-signature mix: destsxchain[:weight] terms")
+		faultsN  = fs.Int("faults", 2, "link flap+Rebase cycles per rate point (in-process mode only)")
+		par      = fs.Int("parallelism", 2, "solver stage-one parallelism for the in-process server")
+		drain    = fs.Duration("drain", 10*time.Second, "post-window wait for in-flight admissions before counting them dropped")
+		out      = fs.String("out", "", "write the BENCH_load.json artifact here")
+		check    = fs.Bool("check", false, "smoke-gate mode: fail unless admissions, zero drops, warm cache hit rates and a request-ID trace are observed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		return err
+	}
+	var rateList []float64
+	for _, r := range strings.Split(*rates, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(r), 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("bad rate %q", r)
+		}
+		rateList = append(rateList, f)
+	}
+
+	// The workload network: in-process mode serves it; remote mode only
+	// samples tasks against it (so -nodes/-seed must match the server).
+	network, err := sftree.GenerateNetwork(sftree.DefaultGenConfig(*nodes, 2), *seed)
+	if err != nil {
+		return err
+	}
+
+	w := &world{url: *url}
+	if *url == "" {
+		reg := obs.NewRegistry()
+		quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+		srv := server.NewWith(network, core.Options{Parallelism: *par}, server.Config{
+			Registry: reg,
+			Logger:   quiet,
+		})
+		w.ts = httptest.NewServer(srv)
+		w.url = w.ts.URL
+		w.mgr = srv.Manager()
+		w.state = faults.NewState(network)
+		if *faultsN > 0 {
+			probeRng := rand.New(rand.NewSource(*seed + 101))
+			probe, err := netgen.GenerateTask(network, probeRng, mix[0].dests, mix[0].chainLen)
+			if err != nil {
+				return err
+			}
+			w.flapU, w.flapV, w.canFlap = pickFlapEdge(network, w.state, probe)
+			if !w.canFlap {
+				fmt.Fprintln(stdout, "sftload: no single-link failure keeps the network solvable; fault flapping disabled")
+			}
+		}
+		defer w.close()
+	} else if *faultsN > 0 {
+		fmt.Fprintln(stdout, "sftload: -faults needs the in-process server; ignoring against -url")
+	}
+	transport := &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}
+	defer transport.CloseIdleConnections()
+	w.client = server.NewClient(w.url, &http.Client{Transport: transport, Timeout: 30 * time.Second})
+
+	ctx := context.Background()
+	if err := w.client.Health(ctx); err != nil {
+		return fmt.Errorf("server not healthy at %s: %w", w.url, err)
+	}
+
+	// Release goroutines outlive their rate point (sessions hold across
+	// point boundaries — that is the steady state); they all stop when
+	// relCtx is cancelled at the end of the run.
+	relCtx, relCancel := context.WithCancel(ctx)
+	var relWG sync.WaitGroup
+	defer func() {
+		relCancel()
+		relWG.Wait()
+	}()
+
+	doc := &loadDoc{Schema: "sftload/v1", Generated: time.Now().UTC()}
+	doc.Config.URL = *url
+	doc.Config.Nodes = *nodes
+	doc.Config.Seed = *seed
+	doc.Config.Mix = *mixStr
+	doc.Config.Rates = *rates
+	doc.Config.DurationSec = duration.Seconds()
+	doc.Config.WarmupSec = warmup.Seconds()
+	doc.Config.HoldSec = hold.Seconds()
+	doc.Config.Faults = *faultsN
+	doc.Config.Parallelism = *par
+
+	fmt.Fprintf(stdout, "%10s %9s %9s %6s %5s %9s %8s %8s %8s %8s %7s\n",
+		"rate/s", "admitted", "rejected", "errs", "drop", "adm/s", "p50ms", "p95ms", "p99ms", "p999ms", "rej%")
+	for i, rate := range rateList {
+		rng := rand.New(rand.NewSource(*seed + 1000003*int64(i)))
+		plan, err := makePlan(network, rng, rate, *warmup, *duration, mix, *hold)
+		if err != nil {
+			return err
+		}
+		pt, err := runPoint(ctx, w, plan, rate, *warmup, *duration, *faultsN, *drain, relCtx, &relWG)
+		if err != nil {
+			return err
+		}
+		doc.Points = append(doc.Points, pt)
+		fmt.Fprintf(stdout, "%10.1f %9d %9d %6d %5d %9.1f %8.2f %8.2f %8.2f %8.2f %6.1f%%\n",
+			pt.OfferedRate, pt.Admitted, pt.Rejected, pt.Errors, pt.Dropped, pt.AdmitsPerSec,
+			pt.Latency.P50, pt.Latency.P95, pt.Latency.P99, pt.Latency.P999, 100*pt.RejectionRate)
+	}
+
+	// Scrape the server's telemetry: the floats section carries the
+	// cache hit rates and pool reuse rates this PR added.
+	snap, snapErr := scrapeMetrics(ctx, w.url)
+	if snapErr == nil {
+		doc.Metrics = excerptMetrics(snap)
+	}
+	trace, traceErr := sampleTrace(ctx, w.url)
+	if traceErr == nil {
+		doc.Trace = trace
+	}
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+
+	if *check {
+		return checkGate(doc, snap, snapErr, trace, traceErr, *faultsN > 0 && w.canFlap, stdout)
+	}
+	return nil
+}
+
+// runPoint drives one offered-rate window: every arrival fires at its
+// scheduled instant on its own goroutine, latency is measured from
+// that instant, and anything still in flight after the drain budget is
+// counted dropped (never silently ignored).
+func runPoint(ctx context.Context, w *world, plan []arrival, rate float64, warmup, window time.Duration, faultsN int, drain time.Duration, relCtx context.Context, relWG *sync.WaitGroup) (point, error) {
+	col := &collector{}
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	// Fault flapper: evenly spaced down/up cycles across the window,
+	// each Rebase carrying live sessions through the repair ladder.
+	var flapWG sync.WaitGroup
+	if faultsN > 0 && w.canFlap {
+		flapWG.Add(1)
+		go func() {
+			defer flapWG.Done()
+			period := (warmup + window) / time.Duration(faultsN)
+			for i := 0; i < faultsN; i++ {
+				if !sleepCtx(ctx, period/2) {
+					return
+				}
+				w.flap(faults.Event{Kind: faults.LinkDown, U: w.flapU, V: w.flapV})
+				if !sleepCtx(ctx, period-period/2) {
+					return
+				}
+				w.flap(faults.Event{Kind: faults.LinkUp, U: w.flapU, V: w.flapV})
+			}
+		}()
+	}
+
+	offeredMeasured := 0
+	for _, a := range plan {
+		if !a.warm {
+			offeredMeasured++
+		}
+		if !sleepCtx(ctx, time.Until(start.Add(a.at))) {
+			return point{}, ctx.Err()
+		}
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			sched := start.Add(a.at)
+			resp, err := w.client.Admit(ctx, a.task)
+			lat := time.Since(sched)
+			s := sample{measured: !a.warm, latMs: float64(lat) / float64(time.Millisecond)}
+			switch {
+			case err == nil:
+				s.out = outAdmitted
+				if a.hold > 0 {
+					relWG.Add(1)
+					go func(id dynamic.SessionID, d time.Duration) {
+						defer relWG.Done()
+						if sleepCtx(relCtx, d) {
+							_ = w.client.Release(relCtx, id)
+						}
+					}(resp.ID, a.hold)
+				}
+			case isRejection(err):
+				s.out = outRejected
+			default:
+				s.out = outError
+			}
+			col.add(s)
+		}(a)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(drain):
+	}
+	flapWG.Wait()
+
+	pt := point{OfferedRate: rate, Offered: offeredMeasured}
+	var lats []float64
+	completedMeasured := 0
+	for _, s := range col.snapshot() {
+		if !s.measured {
+			continue
+		}
+		completedMeasured++
+		switch s.out {
+		case outAdmitted:
+			pt.Admitted++
+			lats = append(lats, s.latMs)
+		case outRejected:
+			pt.Rejected++
+		default:
+			pt.Errors++
+		}
+	}
+	pt.Dropped = offeredMeasured - completedMeasured
+	pt.AdmitsPerSec = float64(pt.Admitted) / window.Seconds()
+	if completedMeasured > 0 {
+		pt.RejectionRate = float64(pt.Rejected) / float64(completedMeasured)
+	}
+	pt.Latency = summarize(lats)
+	return pt, nil
+}
+
+// isRejection reports a 409 admission verdict: the network declined
+// the session (a legitimate load-curve data point, not an error).
+func isRejection(err error) bool {
+	var apiErr *server.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict
+}
+
+// scrapeMetrics pulls the server's /metrics snapshot.
+func scrapeMetrics(ctx context.Context, base string) (*obs.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// excerptMetrics keeps the artifact focused: all callback floats
+// (cache hit rates, pool reuse) plus the headline solve percentiles.
+func excerptMetrics(snap *obs.Snapshot) map[string]float64 {
+	out := make(map[string]float64, len(snap.Floats)+4)
+	for k, v := range snap.Floats {
+		out[k] = v
+	}
+	if h, ok := snap.Histograms["session_solve_ms"]; ok {
+		out["session_solve_ms_p50"] = h.P50
+		out["session_solve_ms_p99"] = h.P99
+		out["session_solve_ms_p999"] = h.P999
+		out["session_solve_ms_count"] = float64(h.Count)
+	}
+	return out
+}
+
+// sampleTrace pulls /debug/traces and returns the newest admission
+// trace stamped with a request ID — the end-to-end propagation proof.
+func sampleTrace(ctx context.Context, base string) (*obs.Trace, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/traces", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/traces: %s", resp.Status)
+	}
+	var doc struct {
+		Traces []obs.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	for i := len(doc.Traces) - 1; i >= 0; i-- {
+		t := doc.Traces[i]
+		if t.Op == "admit" && t.RequestID != "" && len(t.Spans) > 0 {
+			return &t, nil
+		}
+	}
+	return nil, errors.New("no request-ID-stamped admission trace in /debug/traces")
+}
+
+// checkGate enforces the smoke-gate assertions; any failure is an
+// error the caller exits nonzero on.
+func checkGate(doc *loadDoc, snap *obs.Snapshot, snapErr error, trace *obs.Trace, traceErr error, expectAPSP bool, stdout io.Writer) error {
+	var admitted, dropped int
+	for _, pt := range doc.Points {
+		admitted += pt.Admitted
+		dropped += pt.Dropped
+	}
+	var fails []string
+	if admitted == 0 {
+		fails = append(fails, "no sessions admitted")
+	}
+	if dropped != 0 {
+		fails = append(fails, fmt.Sprintf("%d measurements dropped (in flight past the drain budget)", dropped))
+	}
+	switch {
+	case snapErr != nil:
+		fails = append(fails, fmt.Sprintf("scrape /metrics: %v", snapErr))
+	default:
+		if snap.Floats["metric_cache_hit_rate"] <= 0 {
+			fails = append(fails, "metric_cache_hit_rate not > 0")
+		}
+		if expectAPSP && snap.Floats["apsp_cache_hit_rate"] <= 0 {
+			fails = append(fails, "apsp_cache_hit_rate not > 0 despite fault flaps")
+		}
+		if h, ok := snap.Histograms["session_solve_ms"]; !ok || h.Count == 0 {
+			fails = append(fails, "session_solve_ms histogram empty")
+		}
+	}
+	if traceErr != nil {
+		fails = append(fails, fmt.Sprintf("trace propagation: %v", traceErr))
+	} else if trace.RequestID == "" {
+		fails = append(fails, "sampled trace lacks a request ID")
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("load gate failed:\n  - %s", strings.Join(fails, "\n  - "))
+	}
+	fmt.Fprintf(stdout, "load gate OK: %d admitted, 0 dropped, metric_cache_hit_rate=%.3f apsp_cache_hit_rate=%.3f, trace request_id=%s\n",
+		admitted, snap.Floats["metric_cache_hit_rate"], snap.Floats["apsp_cache_hit_rate"], trace.RequestID)
+	return nil
+}

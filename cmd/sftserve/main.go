@@ -6,9 +6,11 @@
 // Observability is built in: every request gets an X-Request-ID and a
 // structured access log line, GET /metrics serves the JSON metrics
 // snapshot (per-route latency histograms, solver phase timings,
-// session lifecycle counters), GET /readyz the readiness probe, and
-// -debug additionally mounts net/http/pprof under /debug/pprof/ and
-// the expvar dump under /debug/vars. SIGINT/SIGTERM trigger a graceful
+// session lifecycle counters, cache hit rates and runtime-sampler
+// gauges), GET /debug/traces the bounded ring of request-scoped
+// solver traces keyed by request ID, GET /readyz the readiness
+// probe, and -debug additionally mounts net/http/pprof under
+// /debug/pprof/ and the expvar dump under /debug/vars. SIGINT/SIGTERM trigger a graceful
 // http.Server.Shutdown so in-flight solves finish, then the final
 // metrics snapshot is flushed to the log.
 //
@@ -64,6 +66,7 @@ func run(ctx context.Context, args []string) error {
 		debug     = fs.Bool("debug", false, "mount /debug/pprof/ and /debug/vars")
 		drain     = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 		solveMax  = fs.Duration("solve-timeout", 0, "ceiling on any one solve/admission; the solver returns its best embedding so far at the deadline (0 = unbounded)")
+		sample    = fs.Duration("sample-interval", 5*time.Second, "Go-runtime sampler period feeding /metrics (goroutines, heap, GC pauses); 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +102,10 @@ func run(ctx context.Context, args []string) error {
 		Logger:       logger,
 		SolveTimeout: *solveMax,
 	})
+	if *sample > 0 {
+		stopSampler := obs.StartRuntimeSampler(ctx, reg, *sample)
+		defer stopSampler()
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)

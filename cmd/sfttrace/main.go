@@ -3,19 +3,33 @@
 // replays it through the session manager, reporting acceptance ratio,
 // per-session cost, and peak instance footprint.
 //
+// It is also the consumer side of the solver's telemetry streams:
+// -parse summarizes a JSONL event stream (sftembed -trace output,
+// including request-ID/warm/rung-stamped lines from scoped streams;
+// older streams without those fields parse identically), and -traces
+// pulls and summarizes a server's /debug/traces ring.
+//
 // Usage:
 //
 //	sfttrace -nodes 60 -sessions 200 -rate 2 -hold 8
 //	sfttrace -palmetto -sessions 100
+//	sfttrace -parse events.jsonl
+//	sfttrace -traces http://localhost:8080
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"sort"
+	"time"
 
 	"sftree"
+	"sftree/internal/obs"
 )
 
 func main() {
@@ -35,9 +49,17 @@ func run(args []string, w io.Writer) error {
 		hold     = fs.Float64("hold", 10, "mean session holding time")
 		seed     = fs.Int64("seed", 1, "random seed")
 		mu       = fs.Float64("mu", 2, "setup cost multiplier")
+		parse    = fs.String("parse", "", "summarize a JSONL solver-event stream instead of running a workload")
+		traces   = fs.String("traces", "", "pull and summarize /debug/traces from this server base URL")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parse != "" {
+		return parseJSONL(*parse, w)
+	}
+	if *traces != "" {
+		return summarizeTraces(*traces, w)
 	}
 	var (
 		net *sftree.Network
@@ -77,5 +99,180 @@ func run(args []string, w io.Writer) error {
 	final := m.Stats()
 	fmt.Fprintf(w, "final state: %d active sessions, cumulative admitted cost %.1f\n",
 		final.Active, final.AdmittedCost)
+	return nil
+}
+
+// eventLine mirrors the JSONL wire schema of internal/obs. It lists
+// the full current field set; streams written before the request_id /
+// warm / rung additions simply decode those to their zero values, and
+// unknown future fields are ignored — the stream stays parseable in
+// both directions.
+type eventLine struct {
+	Kind       string `json:"kind"`
+	Pass       int    `json:"pass"`
+	Moves      int    `json:"moves"`
+	DurationNs int64  `json:"duration_ns"`
+	RequestID  string `json:"request_id"`
+	Warm       bool   `json:"warm"`
+	Rung       string `json:"rung"`
+}
+
+// parseJSONL summarizes a solver-event JSONL stream: per-kind counts,
+// phase time totals, warm/cold solve split, and — when the stream was
+// scoped — the distinct request IDs and repair rungs seen.
+func parseJSONL(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	kinds := map[string]int{}
+	durations := map[string]time.Duration{}
+	requests := map[string]int{}
+	rungs := map[string]int{}
+	warmBuilds, coldBuilds, lines, badLines := 0, 0, 0, 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev eventLine
+		if err := json.Unmarshal(line, &ev); err != nil || ev.Kind == "" {
+			badLines++
+			continue
+		}
+		lines++
+		kinds[ev.Kind]++
+		durations[ev.Kind] += time.Duration(ev.DurationNs)
+		if ev.RequestID != "" {
+			requests[ev.RequestID]++
+		}
+		if ev.Rung != "" {
+			rungs[ev.Rung]++
+		}
+		if ev.Kind == "apsp_build" {
+			if ev.Warm {
+				warmBuilds++
+			} else {
+				coldBuilds++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 {
+		return fmt.Errorf("%s: no parseable events (%d bad lines)", path, badLines)
+	}
+
+	fmt.Fprintf(w, "%s: %d events", path, lines)
+	if badLines > 0 {
+		fmt.Fprintf(w, " (%d unparseable lines skipped)", badLines)
+	}
+	fmt.Fprintln(w)
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if d := durations[k]; d > 0 {
+			fmt.Fprintf(w, "  %-14s %6d  total %s\n", k, kinds[k], d.Round(time.Microsecond))
+		} else {
+			fmt.Fprintf(w, "  %-14s %6d\n", k, kinds[k])
+		}
+	}
+	fmt.Fprintf(w, "solves: %d (%d warm metric, %d cold)\n",
+		kinds["stage2_end"], warmBuilds, coldBuilds)
+	if len(requests) > 0 {
+		fmt.Fprintf(w, "request-scoped events: %d distinct request IDs\n", len(requests))
+	}
+	if len(rungs) > 0 {
+		rn := make([]string, 0, len(rungs))
+		for r := range rungs {
+			rn = append(rn, r)
+		}
+		sort.Strings(rn)
+		for _, r := range rn {
+			fmt.Fprintf(w, "repair rung %s: %d events\n", r, rungs[r])
+		}
+	}
+	return nil
+}
+
+// summarizeTraces pulls a server's /debug/traces ring and reports the
+// serving-path story it tells: ops, warm ratio, repair rungs, request
+// ID coverage and the slowest runs.
+func summarizeTraces(base string, w io.Writer) error {
+	resp, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/traces: %s", resp.Status)
+	}
+	var doc struct {
+		Capacity int         `json:"capacity"`
+		Added    int64       `json:"added"`
+		Dropped  int64       `json:"dropped"`
+		Traces   []obs.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace ring: %d held (capacity %d, %d added, %d evicted)\n",
+		len(doc.Traces), doc.Capacity, doc.Added, doc.Dropped)
+	if len(doc.Traces) == 0 {
+		return nil
+	}
+	ops := map[string]int{}
+	rungs := map[string]int{}
+	warm, withID, early, failed := 0, 0, 0, 0
+	slowest := doc.Traces[0]
+	for _, t := range doc.Traces {
+		ops[t.Op]++
+		if t.Rung != "" {
+			rungs[t.Rung]++
+		}
+		if t.Warm {
+			warm++
+		}
+		if t.RequestID != "" {
+			withID++
+		}
+		if t.EarlyStop {
+			early++
+		}
+		if t.Err != "" {
+			failed++
+		}
+		if t.DurationNs > slowest.DurationNs {
+			slowest = t
+		}
+	}
+	names := make([]string, 0, len(ops))
+	for k := range ops {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "  op %-7s %5d\n", k, ops[k])
+	}
+	rn := make([]string, 0, len(rungs))
+	for r := range rungs {
+		rn = append(rn, r)
+	}
+	sort.Strings(rn)
+	for _, r := range rn {
+		fmt.Fprintf(w, "  repair rung %-8s %5d\n", r, rungs[r])
+	}
+	fmt.Fprintf(w, "warm-metric solves %d/%d, request-ID stamped %d/%d, early stops %d, failures %d\n",
+		warm, len(doc.Traces), withID, len(doc.Traces), early, failed)
+	fmt.Fprintf(w, "slowest: op=%s dur=%s warm=%v request_id=%s\n",
+		slowest.Op, time.Duration(slowest.DurationNs).Round(time.Microsecond), slowest.Warm, slowest.RequestID)
 	return nil
 }

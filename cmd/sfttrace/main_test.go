@@ -2,8 +2,15 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"sftree/internal/obs"
 )
 
 func TestRunSmallTrace(t *testing.T) {
@@ -49,5 +56,86 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Error("same seed produced different trace results")
+	}
+}
+
+// TestParseJSONL feeds a mixed stream: PR 2-era lines (no request_id /
+// warm / rung fields) and current scoped lines. Both must parse; the
+// summary must surface the new attributes without choking on the old.
+func TestParseJSONL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	lines := []string{
+		// Old-schema lines: field set as emitted before the scoped stream.
+		`{"kind":"apsp_build","duration_ns":1200000}`,
+		`{"kind":"stage1_end","cost":42.5,"candidates":6,"duration_ns":800000}`,
+		`{"kind":"stage2_end","cost":40.1,"moves":3,"duration_ns":500000}`,
+		// Current-schema lines with the request/warm/rung additions.
+		`{"kind":"apsp_build","warm":true,"request_id":"req-1"}`,
+		`{"kind":"stage2_end","cost":39.0,"request_id":"req-1","duration_ns":300000}`,
+		`{"kind":"stage2_end","cost":44.0,"request_id":"req-2","rung":"patch"}`,
+		// Garbage must be skipped, not fatal.
+		`not json`,
+		``,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-parse", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"6 events",
+		"1 unparseable lines skipped",
+		"solves: 3 (1 warm metric, 1 cold)",
+		"2 distinct request IDs",
+		"repair rung patch: 1 events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseJSONLEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(path, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-parse", path}, io.Discard); err == nil {
+		t.Error("stream with no parseable events accepted")
+	}
+}
+
+// TestSummarizeTraces serves a real TraceBuffer over HTTP and checks
+// the consumer reads ops, rungs, warm ratio and request IDs back out.
+func TestSummarizeTraces(t *testing.T) {
+	buf := obs.NewTraceBuffer(8)
+	buf.Add(obs.Trace{Op: "admit", RequestID: "req-9", Warm: true, Session: -1, DurationNs: 2e6})
+	buf.Add(obs.Trace{Op: "repair", Rung: "patch", Session: 3, DurationNs: 5e6})
+	buf.Add(obs.Trace{Op: "solve", RequestID: "req-a", Err: "rejected", Session: -1, DurationNs: 1e6})
+	ts := httptest.NewServer(http.StripPrefix("/debug/traces", buf.Handler()))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-traces", ts.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"3 held (capacity 8, 3 added, 0 evicted)",
+		"op admit",
+		"repair rung patch",
+		"warm-metric solves 1/3",
+		"request-ID stamped 2/3",
+		"failures 1",
+		"slowest: op=repair",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in output:\n%s", want, got)
+		}
 	}
 }

@@ -3,9 +3,22 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"sftree/internal/graph"
 )
+
+// journalGets counts move journals handed out by snapshot and
+// journalNews the subset allocated fresh (per-ledger free list empty);
+// gets-news journals were recycled. Process-global so the telemetry
+// layer can report steady-state pool churn across every solve.
+var journalGets, journalNews atomic.Int64
+
+// JournalPoolStats reports the move-journal free-list traffic: total
+// acquisitions and how many of them allocated a new journal.
+func JournalPoolStats() (gets, news int64) {
+	return journalGets.Load(), journalNews.Load()
+}
 
 // This file implements the incremental cost engine behind stage two.
 //
@@ -192,11 +205,13 @@ func (s *state) totalCost() (float64, error) {
 func (s *state) snapshot() *journal {
 	led := s.led
 	var jr *journal
+	journalGets.Add(1)
 	if n := len(led.jrFree); n > 0 {
 		jr = led.jrFree[n-1]
 		led.jrFree = led.jrFree[:n-1]
 		jr.reset()
 	} else {
+		journalNews.Add(1)
 		jr = new(journal)
 	}
 	jr.setupSum = led.setupSum

@@ -99,6 +99,11 @@ type Event struct {
 	Moves int
 	// Duration is the wall time of the closed phase (end events).
 	Duration time.Duration
+	// Warm marks an EventAPSPBuild satisfied by the generation-valid
+	// metric cache: no APSP ran and Duration is zero by construction.
+	// The explicit flag lets consumers distinguish warm solves from a
+	// cold build that merely measured fast.
+	Warm bool
 }
 
 // Observer consumes solver-phase events. Implementations must be

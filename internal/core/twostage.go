@@ -37,7 +37,7 @@ func Solve(net *nfv.Network, task nfv.Task, opts Options) (*Result, error) {
 		// A warm metric reports zero build time: the closure is cached
 		// (and generation-valid), so this solve pays nothing for APSP.
 		if net.MetricCached() {
-			opts.emit(Event{Kind: EventAPSPBuild, Duration: 0})
+			opts.emit(Event{Kind: EventAPSPBuild, Duration: 0, Warm: true})
 		} else {
 			t0 := time.Now()
 			net.Metric()

@@ -72,6 +72,9 @@ type Manager struct {
 
 	// met holds the optional registry handles (see Instrument).
 	met *managerMetrics
+	// trace, when set, receives one obs.Trace per admission and repair
+	// solve (see Trace).
+	trace *obs.TraceBuffer
 }
 
 // managerMetrics are the registry handles an instrumented manager
@@ -116,9 +119,23 @@ func (m *Manager) Instrument(reg *obs.Registry) *Manager {
 		live:            reg.Gauge("sessions_live"),
 		liveInstances:   reg.Gauge("instances_live"),
 		degraded:        reg.Gauge("sessions_degraded"),
-		solveMS:         reg.Histogram("session_solve_ms", nil),
+		solveMS:         reg.Histogram("session_solve_ms", obs.LatencyBuckets),
 		repairCostDelta: reg.Histogram("repair_cost_delta", nil),
 	}
+	return m
+}
+
+// Trace wires the manager's solver runs into a bounded trace ring:
+// every admission and every fault-repair solve records a span tree
+// stamped with the originating request ID (taken from the admission
+// context's obs middleware value), the warm/cold metric label, the
+// early-stop flag, the stage-one parallelism and — for repairs — the
+// repair-ladder rung. It returns the manager for chaining; an
+// untraced manager pays nothing.
+func (m *Manager) Trace(buf *obs.TraceBuffer) *Manager {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trace = buf
 	return m
 }
 
@@ -155,8 +172,20 @@ func (m *Manager) AdmitCtx(ctx context.Context, task nfv.Task) (*Session, error)
 	defer m.mu.Unlock()
 	opts := m.opts
 	opts.Ctx = ctx
+	// Thread the originating request through the solver: the obs
+	// middleware stored the X-Request-ID in ctx, and the recorder's
+	// span tree lands in the trace ring stamped with it.
+	var finish func(int, *core.Result, error)
+	if m.trace != nil {
+		var rec *obs.SpanRecorder
+		rec, finish = m.trace.StartTrace("admit", obs.RequestID(ctx))
+		opts.Observer = obs.Tee(opts.Observer, rec)
+	}
 	start := time.Now()
 	res, err := core.Solve(m.net, task, opts)
+	if finish != nil {
+		finish(opts.Parallelism, res, err)
+	}
 	if m.met != nil {
 		m.met.solveMS.ObserveDuration(time.Since(start))
 	}

@@ -3,11 +3,13 @@ package dynamic
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sftree/internal/conformance"
 	"sftree/internal/core"
 	"sftree/internal/graph"
 	"sftree/internal/nfv"
+	"sftree/internal/obs"
 )
 
 // RepairOutcome classifies what Rebase did to one affected session.
@@ -198,6 +200,39 @@ func (m *Manager) repairSession(sess *Session) SessionRepair {
 	return sr
 }
 
+// repairSolve runs one repair-ladder solve, recording a trace tagged
+// with the rung ("patch", "reembed") and the repaired session when the
+// manager is tracing. Repairs run outside any HTTP request, so the
+// trace carries no request ID. Callers hold m.mu.
+func (m *Manager) repairSolve(rung string, id SessionID, task nfv.Task) (*core.Result, error) {
+	opts := m.opts
+	if m.trace == nil {
+		return core.Solve(m.net, task, opts)
+	}
+	rec := &obs.SpanRecorder{}
+	opts.Observer = obs.Tee(opts.Observer, rec)
+	start := time.Now()
+	res, err := core.Solve(m.net, task, opts)
+	t := obs.Trace{
+		Op:          "repair",
+		Rung:        rung,
+		Session:     int(id),
+		Parallelism: opts.Parallelism,
+		Start:       start,
+		DurationNs:  time.Since(start).Nanoseconds(),
+		Warm:        rec.Breakdown().Warm,
+		Spans:       rec.Spans(),
+	}
+	if res != nil {
+		t.EarlyStop = res.EarlyStop
+	}
+	if err != nil {
+		t.Err = err.Error()
+	}
+	m.trace.Add(t)
+	return res, err
+}
+
 // tryPatch attempts the incremental repair: solve a sub-task covering
 // only the recoverable destinations, merge its walks with the intact
 // ones, and install whatever new instances it needs. Returns true if
@@ -208,7 +243,7 @@ func (m *Manager) tryPatch(sess *Session, emb *nfv.Embedding, intact, recoverabl
 		Destinations: destNodes(emb, recoverable),
 		Chain:        append(nfv.SFC(nil), emb.Task.Chain...),
 	}
-	res, err := core.Solve(m.net, sub, m.opts)
+	res, err := m.repairSolve("patch", sess.ID, sub)
 	if err != nil {
 		sr.Err = fmt.Sprintf("patch: %v", err)
 		return false
@@ -242,7 +277,7 @@ func (m *Manager) tryReembed(sess *Session, emb *nfv.Embedding, reachable, lost 
 		Destinations: destNodes(emb, reachable),
 		Chain:        append(nfv.SFC(nil), emb.Task.Chain...),
 	}
-	res, err := core.Solve(m.net, full, m.opts)
+	res, err := m.repairSolve("reembed", sess.ID, full)
 	if err != nil {
 		if sr.Err != "" {
 			sr.Err += "; "

@@ -1,0 +1,18 @@
+package faults
+
+import "sync/atomic"
+
+// Per-down-set APSP cache traffic. A hit is a Materialize-d network
+// whose metric lookup was served without running APSP for that
+// degraded view: either the pristine-topology passthrough to the base
+// network's closure or the per-signature cache. A miss built a fresh
+// closure for a down-set seen for the first time (or evicted). The
+// counters are process-global across all States, mirroring
+// nfv.MetricCacheStats one layer down.
+var apspHits, apspMisses atomic.Int64
+
+// CacheStats reports the cumulative per-down-set APSP cache traffic
+// across every faults.State in the process.
+func CacheStats() (hits, misses int64) {
+	return apspHits.Load(), apspMisses.Load()
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // spScratch is the reusable per-run arena of a shortest-path
 // computation: the Dijkstra heap plus parent and chain buffers whose
@@ -22,12 +25,29 @@ type spScratch struct {
 	chain  []int
 }
 
-var spPool = sync.Pool{New: func() any { return new(spScratch) }}
+var spPool = sync.Pool{New: func() any {
+	spPoolNews.Add(1)
+	return new(spScratch)
+}}
+
+// spPoolGets counts arena acquisitions and spPoolNews the subset that
+// allocated a fresh arena (pool empty or GC-cleared); the difference
+// is the reuse count. Process-global like the pool itself, exported
+// through PoolStats for the telemetry layer.
+var spPoolGets, spPoolNews atomic.Int64
+
+// PoolStats reports the shortest-path scratch pool's traffic: total
+// acquisitions and how many of them had to allocate a new arena.
+// gets-news arenas were served from the pool (reuse).
+func PoolStats() (gets, news int64) {
+	return spPoolGets.Load(), spPoolNews.Load()
+}
 
 // getScratch returns an arena whose parent buffer holds at least n
 // entries (n may be 0 when only the heap is needed). The buffer
 // contents are undefined.
 func getScratch(n int) *spScratch {
+	spPoolGets.Add(1)
 	sc := spPool.Get().(*spScratch)
 	if cap(sc.parent) < n {
 		sc.parent = make([]int, n)

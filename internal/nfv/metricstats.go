@@ -1,0 +1,17 @@
+package nfv
+
+import "sync/atomic"
+
+// Metric-cache traffic counters. Every Network.Metric call is either a
+// hit (the generation-stamped closure is still valid — no APSP build,
+// no supplier call) or a miss (the closure is rebuilt, locally or via
+// the installed supplier). The counters are process-global across all
+// networks, matching how the telemetry layer reports them: what
+// fraction of solver metric lookups the generation cache absorbs.
+var metricHits, metricMisses atomic.Int64
+
+// MetricCacheStats reports the cumulative generation-cache traffic of
+// Network.Metric across every network in the process.
+func MetricCacheStats() (hits, misses int64) {
+	return metricHits.Load(), metricMisses.Load()
+}

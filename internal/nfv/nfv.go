@@ -271,8 +271,10 @@ func (net *Network) FreeCapacity(v int) float64 {
 // large sparse ones); see graph.APSPAuto.
 func (net *Network) Metric() *graph.Metric {
 	if net.metric != nil && net.metricGen == net.g.Generation() {
+		metricHits.Add(1)
 		return net.metric
 	}
+	metricMisses.Add(1)
 	if net.metricFn != nil {
 		net.metric = net.metricFn()
 	} else {

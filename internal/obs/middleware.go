@@ -23,6 +23,13 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
+// WithRequestID returns a context carrying id, exactly as the HTTP
+// middleware stores it. Non-HTTP callers (batch harnesses, chaos
+// drivers) use it to stamp their solver traces with an origin.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
 // newRequestID draws a 16-hex-char random ID.
 func newRequestID() string {
 	var b [8]byte

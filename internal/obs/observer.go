@@ -13,6 +13,11 @@ import (
 // order, for tests, traces and post-hoc aggregation. Safe for
 // concurrent use, though interleaved events from parallel solves make
 // the span tree ambiguous — use one recorder per solve for trees.
+//
+// A nil *SpanRecorder is a valid no-op observer: every method tolerates
+// a nil receiver, so TraceBuffer.StartTrace on a nil ring can hand back
+// nil and call sites stay unconditional even when teed (Tee keeps
+// typed-nil observers, which would otherwise panic on first event).
 type SpanRecorder struct {
 	mu     sync.Mutex
 	events []core.Event
@@ -20,6 +25,9 @@ type SpanRecorder struct {
 
 // OnEvent implements core.Observer.
 func (r *SpanRecorder) OnEvent(e core.Event) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	r.events = append(r.events, e)
 	r.mu.Unlock()
@@ -27,6 +35,9 @@ func (r *SpanRecorder) OnEvent(e core.Event) {
 
 // Events returns a copy of the recorded events in arrival order.
 func (r *SpanRecorder) Events() []core.Event {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]core.Event(nil), r.events...)
@@ -34,6 +45,9 @@ func (r *SpanRecorder) Events() []core.Event {
 
 // Reset discards everything recorded so far.
 func (r *SpanRecorder) Reset() {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	r.events = nil
 	r.mu.Unlock()
@@ -52,12 +66,21 @@ type Breakdown struct {
 	MovesRejected int     `json:"moves_rejected"`
 	Stage1Cost    float64 `json:"stage1_cost"`
 	FinalCost     float64 `json:"final_cost"`
+	// Warm reports that the solve's metric lookup was served by the
+	// generation-valid cache (core.Event.Warm on the APSP event) — the
+	// explicit warm/cold label, rather than the apsp_build_ns==0
+	// convention. With several solves folded in, true means at least
+	// one was warm.
+	Warm bool `json:"warm"`
 }
 
 // Breakdown folds the recorded events into per-phase totals. With
 // several solves recorded, durations and move counts accumulate and
 // the costs reflect the last solve.
 func (r *SpanRecorder) Breakdown() Breakdown {
+	if r == nil {
+		return Breakdown{}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var b Breakdown
@@ -65,6 +88,9 @@ func (r *SpanRecorder) Breakdown() Breakdown {
 		switch e.Kind {
 		case core.EventAPSPBuild:
 			b.APSPBuildNs += e.Duration.Nanoseconds()
+			if e.Warm {
+				b.Warm = true
+			}
 		case core.EventStage1End:
 			b.Stage1Ns += e.Duration.Nanoseconds()
 			b.Stage1Cost = e.Cost
@@ -97,6 +123,9 @@ type Span struct {
 // the top, one span per OPA pass under stage 2, move events as leaf
 // spans under their pass.
 func (r *SpanRecorder) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var roots []*Span
@@ -114,7 +143,12 @@ func (r *SpanRecorder) Spans() []*Span {
 	for _, e := range r.events {
 		switch e.Kind {
 		case core.EventAPSPBuild:
-			roots = append(roots, &Span{Name: "apsp_build", DurationNs: e.Duration.Nanoseconds()})
+			warm := 0.0
+			if e.Warm {
+				warm = 1
+			}
+			roots = append(roots, &Span{Name: "apsp_build", DurationNs: e.Duration.Nanoseconds(),
+				Attrs: map[string]float64{"warm": warm}})
 		case core.EventStage1End:
 			roots = append(roots, &Span{Name: "stage1", DurationNs: e.Duration.Nanoseconds(),
 				Attrs: map[string]float64{"cost": e.Cost, "candidates": float64(e.Candidates)}})
@@ -151,7 +185,11 @@ func (r *SpanRecorder) Spans() []*Span {
 	return roots
 }
 
-// lineEvent is the JSON-lines wire form of a solver event.
+// lineEvent is the JSON-lines wire form of a solver event. The
+// request_id, warm and rung fields are additions over the original
+// (PR 2) schema; they are omitted when empty, so old consumers keep
+// parsing new streams and new consumers treat their absence as the
+// zero value when reading old streams.
 type lineEvent struct {
 	Kind       string  `json:"kind"`
 	Pass       int     `json:"pass,omitempty"`
@@ -166,6 +204,14 @@ type lineEvent struct {
 	Candidates int     `json:"candidates,omitempty"`
 	Moves      int     `json:"moves,omitempty"`
 	DurationNs int64   `json:"duration_ns,omitempty"`
+	// RequestID scopes the event to the originating HTTP request
+	// (scoped streams only — see JSONLObserver.WithScope).
+	RequestID string `json:"request_id,omitempty"`
+	// Warm marks an apsp_build event served from the metric cache.
+	Warm bool `json:"warm,omitempty"`
+	// Rung names the repair-ladder rung a repair-scoped solve ran under
+	// ("patch", "reembed").
+	Rung string `json:"rung,omitempty"`
 }
 
 // JSONLObserver streams every solver event as one JSON object per
@@ -183,6 +229,10 @@ func NewJSONLObserver(w io.Writer) *JSONLObserver {
 
 // OnEvent implements core.Observer.
 func (o *JSONLObserver) OnEvent(e core.Event) {
+	o.emit(e, "", "")
+}
+
+func (o *JSONLObserver) emit(e core.Event, requestID, rung string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	_ = o.enc.Encode(lineEvent{
@@ -191,8 +241,25 @@ func (o *JSONLObserver) OnEvent(e core.Event) {
 		CostBefore: e.CostBefore, CostAfter: e.CostAfter, Cost: e.Cost,
 		Candidates: e.Candidates, Moves: e.Moves,
 		DurationNs: e.Duration.Nanoseconds(),
+		RequestID:  requestID, Warm: e.Warm, Rung: rung,
 	})
 }
+
+// WithScope returns an observer emitting onto the same stream with
+// every line stamped with the originating request ID and (for repair
+// solves) the repair-ladder rung. Scoped views share the underlying
+// encoder mutex, so scoped and unscoped writers may interleave safely.
+func (o *JSONLObserver) WithScope(requestID, rung string) core.Observer {
+	return &scopedJSONL{o: o, requestID: requestID, rung: rung}
+}
+
+type scopedJSONL struct {
+	o               *JSONLObserver
+	requestID, rung string
+}
+
+// OnEvent implements core.Observer.
+func (s *scopedJSONL) OnEvent(e core.Event) { s.o.emit(e, s.requestID, s.rung) }
 
 // metricsObserver bridges solver events into registry metrics, the
 // wiring behind the server's /metrics solver section.
@@ -209,9 +276,9 @@ type metricsObserver struct {
 // few atomic adds.
 func NewMetricsObserver(reg *Registry) core.Observer {
 	return &metricsObserver{
-		apsp:     reg.Histogram("solver_apsp_ms", nil),
-		stage1:   reg.Histogram("solver_stage1_ms", nil),
-		stage2:   reg.Histogram("solver_stage2_ms", nil),
+		apsp:     reg.Histogram("solver_apsp_ms", LatencyBuckets),
+		stage1:   reg.Histogram("solver_stage1_ms", LatencyBuckets),
+		stage2:   reg.Histogram("solver_stage2_ms", LatencyBuckets),
 		proposed: reg.Counter("solver_moves_proposed_total"),
 		accepted: reg.Counter("solver_moves_accepted_total"),
 		rejected: reg.Counter("solver_moves_rejected_total"),

@@ -53,6 +53,17 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // slow end, one implicit +Inf overflow bucket.
 var DefBuckets = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
+// LatencyBuckets is the fine-grained layout for solver and admission
+// latencies, whose warm-solve mode sits near one millisecond
+// (BENCH_core.json records ~1.3 ms for SolveTwoStage100): 25 µs
+// resolution below a millisecond so sub-millisecond percentiles
+// interpolate inside narrow buckets instead of collapsing onto the
+// 0.25 ms DefBuckets floor, then the standard decades up to 10 s.
+var LatencyBuckets = []float64{
+	0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 3, 5, 7.5, 10,
+	25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
 // Histogram is a fixed-bucket distribution with an atomic hot path:
 // Observe is one binary search plus three atomic adds, no locks.
 type Histogram struct {
@@ -154,6 +165,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	floats   map[string]func() float64
 }
 
 // NewRegistry returns an empty registry.
@@ -162,6 +174,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		floats:   make(map[string]func() float64),
 	}
 }
 
@@ -221,6 +234,18 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// GaugeFunc registers a callback gauge: fn is evaluated at every
+// Snapshot (and therefore every /metrics scrape), so derived values —
+// cache hit rates, pool reuse fractions, runtime levels — stay current
+// without a sampling loop. Re-registering a name replaces the
+// callback. fn must be safe for concurrent use; NaN and ±Inf results
+// are clamped to 0 to keep the JSON document valid.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.floats[name] = fn
+}
+
 // BucketCount is one cumulative histogram bucket in a snapshot; LE is
 // the inclusive upper bound rendered as a string ("+Inf" for the
 // overflow bucket) so the JSON stays valid.
@@ -236,25 +261,36 @@ type HistogramSnapshot struct {
 	P50     float64       `json:"p50"`
 	P95     float64       `json:"p95"`
 	P99     float64       `json:"p99"`
+	P999    float64       `json:"p999"`
 	Buckets []BucketCount `json:"buckets"`
 }
 
 // Snapshot is a point-in-time copy of every metric in the registry,
-// the document GET /metrics serves.
+// the document GET /metrics serves. Floats carries the callback gauges
+// (GaugeFunc), evaluated at snapshot time.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
+	Floats     map[string]float64           `json:"floats,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures the current value of every metric.
+// Snapshot captures the current value of every metric. Callback
+// gauges are evaluated after the registry lock is released, so a
+// callback may itself read registry handles.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	var fns map[string]func() float64
+	if len(r.floats) > 0 {
+		fns = make(map[string]func() float64, len(r.floats))
+		for name, fn := range r.floats {
+			fns[name] = fn
+		}
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -269,6 +305,7 @@ func (r *Registry) Snapshot() Snapshot {
 			P50:   h.Quantile(0.50),
 			P95:   h.Quantile(0.95),
 			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
 		}
 		cum := int64(0)
 		for i := range h.buckets {
@@ -280,6 +317,17 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.Buckets = append(hs.Buckets, BucketCount{LE: le, Count: cum})
 		}
 		s.Histograms[name] = hs
+	}
+	r.mu.RUnlock()
+	if fns != nil {
+		s.Floats = make(map[string]float64, len(fns))
+		for name, fn := range fns {
+			v := fn()
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Floats[name] = v
+		}
 	}
 	return s
 }

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"sftree/internal/core"
+)
+
+// Trace is one completed, request-scoped solver run: the span tree the
+// SpanRecorder rebuilt, stamped with the originating request ID and
+// the run-level attributes the serving path cares about. It is the
+// unit /debug/traces serves and cmd/sfttrace consumes.
+type Trace struct {
+	// RequestID is the X-Request-ID of the originating HTTP request
+	// (empty for runs outside a request, e.g. fault repairs driven by
+	// the chaos harness).
+	RequestID string `json:"request_id,omitempty"`
+	// Op names the serving-path operation: "solve" (stateless),
+	// "admit" (session admission), "repair" (fault-repair re-solve).
+	Op string `json:"op"`
+	// Rung is the repair-ladder rung for Op=="repair" ("patch",
+	// "reembed"); empty otherwise.
+	Rung string `json:"rung,omitempty"`
+	// Session is the affected session ID for repair traces; -1 when
+	// not applicable (stateless solves, failed admissions).
+	Session int `json:"session"`
+	// Warm reports the solve ran on a cached metric closure (no APSP
+	// build); EarlyStop that the deadline expired mid-solve.
+	Warm      bool `json:"warm"`
+	EarlyStop bool `json:"early_stop,omitempty"`
+	// Parallelism is the stage-one worker setting the solve ran with.
+	Parallelism int `json:"parallelism"`
+	// Start and DurationNs bracket the run's wall time.
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+	// Err carries the solver error for failed runs (rejections).
+	Err string `json:"error,omitempty"`
+	// Spans is the solver phase tree (stage1/stage2/opa passes/moves),
+	// every node of which belongs to this request.
+	Spans []*Span `json:"spans,omitempty"`
+}
+
+// TraceBuffer is a bounded ring of recent traces: writers never block
+// and never grow memory past the capacity — when full, the oldest
+// trace is dropped and counted. Safe for concurrent use.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	buf     []Trace
+	next    int // ring write cursor
+	full    bool
+	added   int64
+	dropped int64
+}
+
+// DefaultTraceCap is the ring capacity NewTraceBuffer(0) uses.
+const DefaultTraceCap = 256
+
+// NewTraceBuffer returns a ring holding the most recent capacity
+// traces (0 means DefaultTraceCap).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceBuffer{buf: make([]Trace, capacity)}
+}
+
+// Add appends one trace, evicting the oldest when the ring is full.
+func (b *TraceBuffer) Add(t Trace) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full {
+		b.dropped++
+	}
+	b.buf[b.next] = t
+	b.next = (b.next + 1) % len(b.buf)
+	if b.next == 0 && !b.full {
+		b.full = true
+	}
+	b.added++
+}
+
+// Len reports how many traces the ring currently holds.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full {
+		return len(b.buf)
+	}
+	return b.next
+}
+
+// Stats reports lifetime totals: traces added and traces evicted to
+// make room.
+func (b *TraceBuffer) Stats() (added, dropped int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.added, b.dropped
+}
+
+// Snapshot returns the buffered traces oldest-first.
+func (b *TraceBuffer) Snapshot() []Trace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.full {
+		return append([]Trace(nil), b.buf[:b.next]...)
+	}
+	out := make([]Trace, 0, len(b.buf))
+	out = append(out, b.buf[b.next:]...)
+	out = append(out, b.buf[:b.next]...)
+	return out
+}
+
+// traceDoc is the JSON document GET /debug/traces serves.
+type traceDoc struct {
+	Capacity int     `json:"capacity"`
+	Added    int64   `json:"added"`
+	Dropped  int64   `json:"dropped"`
+	Traces   []Trace `json:"traces"`
+}
+
+// Handler serves the ring's contents as indented JSON, oldest trace
+// first (GET/HEAD only).
+func (b *TraceBuffer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		added, dropped := b.Stats()
+		doc := traceDoc{Capacity: cap(b.buf), Added: added, Dropped: dropped, Traces: b.Snapshot()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}
+
+// StartTrace begins one request-scoped solver run: it returns a fresh
+// SpanRecorder to tee into core.Options.Observer and a finish function
+// that folds the recorded events plus the outcome into a Trace and
+// adds it to the buffer. A nil *TraceBuffer yields a nil recorder and
+// a no-op finish, so call sites stay unconditional:
+//
+//	rec, finish := buf.StartTrace("solve", requestID)
+//	opts.Observer = obs.Tee(opts.Observer, rec)
+//	res, err := core.Solve(...)
+//	finish(opts.Parallelism, res, err)
+func (b *TraceBuffer) StartTrace(op, requestID string) (*SpanRecorder, func(parallelism int, res *core.Result, err error)) {
+	if b == nil {
+		return nil, func(int, *core.Result, error) {}
+	}
+	rec := &SpanRecorder{}
+	start := time.Now()
+	return rec, func(parallelism int, res *core.Result, err error) {
+		t := Trace{
+			Op:          op,
+			RequestID:   requestID,
+			Session:     -1,
+			Parallelism: parallelism,
+			Start:       start,
+			DurationNs:  time.Since(start).Nanoseconds(),
+			Warm:        rec.Breakdown().Warm,
+			Spans:       rec.Spans(),
+		}
+		if res != nil {
+			t.EarlyStop = res.EarlyStop
+		}
+		if err != nil {
+			t.Err = err.Error()
+		}
+		b.Add(t)
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sftree/internal/core"
+)
+
+func TestTraceBufferRing(t *testing.T) {
+	b := NewTraceBuffer(3)
+	if b.Len() != 0 {
+		t.Fatalf("fresh ring Len = %d", b.Len())
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(Trace{Op: "solve", RequestID: fmt.Sprintf("r%d", i)})
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d, want capacity 3", b.Len())
+	}
+	added, dropped := b.Stats()
+	if added != 5 || dropped != 2 {
+		t.Errorf("Stats = (%d, %d), want (5, 2)", added, dropped)
+	}
+	snap := b.Snapshot()
+	want := []string{"r2", "r3", "r4"} // oldest-first after eviction
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d traces, want %d", len(snap), len(want))
+	}
+	for i, id := range want {
+		if snap[i].RequestID != id {
+			t.Errorf("snapshot[%d].RequestID = %s, want %s", i, snap[i].RequestID, id)
+		}
+	}
+}
+
+func TestTraceBufferDefaultCap(t *testing.T) {
+	b := NewTraceBuffer(0)
+	for i := 0; i < DefaultTraceCap+10; i++ {
+		b.Add(Trace{Op: "solve"})
+	}
+	if b.Len() != DefaultTraceCap {
+		t.Errorf("Len = %d, want %d", b.Len(), DefaultTraceCap)
+	}
+}
+
+func TestTraceBufferHandler(t *testing.T) {
+	b := NewTraceBuffer(4)
+	b.Add(Trace{Op: "admit", RequestID: "abc", Session: -1, Warm: true})
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Capacity int     `json:"capacity"`
+		Added    int64   `json:"added"`
+		Traces   []Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Capacity != 4 || doc.Added != 1 || len(doc.Traces) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	tr := doc.Traces[0]
+	if tr.Op != "admit" || tr.RequestID != "abc" || !tr.Warm || tr.Session != -1 {
+		t.Errorf("round-tripped trace = %+v", tr)
+	}
+
+	post, err := http.Post(srv.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+// TestStartTraceNilBuffer: a nil ring must hand back a nil recorder
+// and a callable no-op finish, so call sites stay unconditional. The
+// typed-nil recorder survives Tee's interface-nil filter, so it must
+// absorb events and queries without panicking.
+func TestStartTraceNilBuffer(t *testing.T) {
+	var b *TraceBuffer
+	rec, finish := b.StartTrace("solve", "req")
+	if rec != nil {
+		t.Error("nil buffer returned a live recorder")
+	}
+	teed := Tee(nil, rec)
+	teed.OnEvent(core.Event{Kind: core.EventStage1End}) // must not panic
+	if got := rec.Events(); got != nil {
+		t.Errorf("nil recorder recorded %v", got)
+	}
+	if b := rec.Breakdown(); b != (Breakdown{}) {
+		t.Errorf("nil recorder breakdown = %+v", b)
+	}
+	if s := rec.Spans(); s != nil {
+		t.Errorf("nil recorder spans = %v", s)
+	}
+	finish(2, nil, nil) // must not panic
+}
+
+func TestStartTraceRecordsOutcome(t *testing.T) {
+	b := NewTraceBuffer(2)
+	rec, finish := b.StartTrace("solve", "req-1")
+	rec.OnEvent(core.Event{Kind: core.EventAPSPBuild, Warm: true})
+	rec.OnEvent(core.Event{Kind: core.EventStage1End, Cost: 5})
+	finish(8, &core.Result{EarlyStop: true}, nil)
+
+	_, finish = b.StartTrace("admit", "req-2")
+	finish(1, nil, fmt.Errorf("no capacity"))
+
+	snap := b.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(snap))
+	}
+	ok, bad := snap[0], snap[1]
+	if !ok.Warm || !ok.EarlyStop || ok.Parallelism != 8 || len(ok.Spans) == 0 || ok.RequestID != "req-1" {
+		t.Errorf("success trace = %+v", ok)
+	}
+	if bad.Err != "no capacity" || bad.Op != "admit" {
+		t.Errorf("failure trace = %+v", bad)
+	}
+}

@@ -7,7 +7,8 @@
 //
 //	GET    /healthz               liveness probe
 //	GET    /readyz                readiness probe (network + session API state)
-//	GET    /metrics               JSON metrics snapshot (counters/gauges/histograms)
+//	GET    /metrics               JSON metrics snapshot (counters/gauges/floats/histograms)
+//	GET    /debug/traces          recent request-scoped solver span trees (bounded ring)
 //	POST   /v1/solve              {instance, algorithm?, seed?} -> embedding + costs
 //	POST   /v1/validate           {instance, embedding} -> verdict + replay
 //	POST   /v1/render             {instance, algorithm?} -> image/svg+xml
@@ -64,6 +65,11 @@ type Config struct {
 	// ask for a shorter deadline (timeout_ms); they cannot exceed this
 	// ceiling. Zero means no server-side cap.
 	SolveTimeout time.Duration
+	// Traces receives one request-scoped span tree per solve, admission
+	// and fault-repair run, served back at GET /debug/traces; nil
+	// creates a private ring of obs.DefaultTraceCap traces (reachable
+	// via Server.Traces).
+	Traces *obs.TraceBuffer
 }
 
 // Server is the HTTP facade. Create it with New or NewWith; it
@@ -74,6 +80,7 @@ type Server struct {
 	mgr     *dynamic.Manager
 	net     *nfv.Network
 	reg     *obs.Registry
+	traces  *obs.TraceBuffer
 	opts    core.Options // base solver options, observer attached
 	timeout time.Duration
 }
@@ -91,14 +98,24 @@ func NewWith(net *nfv.Network, opts core.Options, cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// Cache and pool telemetry is process-global; registering the
+	// callback gauges per server is idempotent (same names, same
+	// sources), so every registry scraping this server sees them.
+	obs.RegisterCacheStats(reg)
+	traces := cfg.Traces
+	if traces == nil {
+		traces = obs.NewTraceBuffer(0)
+	}
 	opts.Observer = obs.Tee(opts.Observer, cfg.Observer, obs.NewMetricsObserver(reg))
-	s := &Server{mux: http.NewServeMux(), net: net, reg: reg, opts: opts, timeout: cfg.SolveTimeout}
+	s := &Server{mux: http.NewServeMux(), net: net, reg: reg, traces: traces,
+		opts: opts, timeout: cfg.SolveTimeout}
 	if net != nil {
-		s.mgr = dynamic.NewManager(net, opts).Instrument(reg)
+		s.mgr = dynamic.NewManager(net, opts).Instrument(reg).Trace(traces)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.Handle("GET /metrics", reg.Handler())
+	s.mux.Handle("GET /debug/traces", traces.Handler())
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	s.mux.HandleFunc("POST /v1/render", s.handleRender)
@@ -115,6 +132,16 @@ func NewWith(net *nfv.Network, opts core.Options, cfg Config) *Server {
 // Registry exposes the server's metrics registry (for embedding into a
 // wider process registry or asserting in tests).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Traces exposes the server's trace ring (the buffer behind GET
+// /debug/traces).
+func (s *Server) Traces() *obs.TraceBuffer { return s.traces }
+
+// Manager exposes the dynamic session manager backing the stateful
+// API, nil for stateless servers. In-process harnesses (cmd/sftload's
+// self-serve mode) use it to drive fault rebases against the same
+// network the HTTP admissions run on.
+func (s *Server) Manager() *dynamic.Manager { return s.mgr }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -243,14 +270,17 @@ func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context
 // runAlgorithm dispatches one stateless solve under the server's base
 // options (observer included, so every solve feeds /metrics). ctx
 // bounds the solve; the two-stage solver stops at the deadline with
-// its best feasible embedding (baselines run to completion).
-func (s *Server) runAlgorithm(ctx context.Context, req *SolveRequest) (*core.Result, error) {
+// its best feasible embedding (baselines run to completion). extra,
+// when non-nil, additionally observes this request's solver events
+// (the per-request trace recorder).
+func (s *Server) runAlgorithm(ctx context.Context, req *SolveRequest, extra core.Observer) (*core.Result, error) {
 	net, task := req.Instance.Network, req.Instance.Task
 	if net == nil {
 		return nil, errors.New("request carries no network")
 	}
 	opts := s.opts
 	opts.Ctx = ctx
+	opts.Observer = obs.Tee(opts.Observer, extra)
 	switch req.Algorithm {
 	case "", "msa":
 		return core.Solve(net, task, opts)
@@ -298,7 +328,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveContext(r, req.TimeoutMS)
 	defer cancel()
-	res, err := s.runAlgorithm(ctx, &req)
+	rec, finish := s.traces.StartTrace("solve", obs.RequestID(r.Context()))
+	res, err := s.runAlgorithm(ctx, &req, rec)
+	finish(s.opts.Parallelism, res, err)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, nfv.ErrInvalidTask) {
@@ -352,7 +384,9 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveContext(r, req.TimeoutMS)
 	defer cancel()
-	res, err := s.runAlgorithm(ctx, &req)
+	rec, finish := s.traces.StartTrace("render", obs.RequestID(r.Context()))
+	res, err := s.runAlgorithm(ctx, &req, rec)
+	finish(s.opts.Parallelism, res, err)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return

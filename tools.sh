@@ -5,8 +5,13 @@
 # observability smoke test. CI and pre-commit should both call this;
 # it exits non-zero on the first failure.
 #
-#   ./tools.sh          # vet + gofmt + race tests + chaos + conformance + bench + obs
+#   ./tools.sh          # vet + gofmt + race tests + chaos + conformance + bench + obs + load
 #   ./tools.sh quick    # vet + gofmt only (skip the race run and smoke)
+#   ./tools.sh load     # load gate only: fixed-seed open-loop sftload
+#                       # run against an in-process sftserve, asserting
+#                       # non-zero admissions, zero dropped measurements,
+#                       # live cache hit-rate floats on /metrics and a
+#                       # request-ID-stamped trace on /debug/traces
 #   ./tools.sh obs      # obs smoke only: build cmds, boot sftserve,
 #                       # assert /healthz /readyz /metrics respond
 #   ./tools.sh chaos    # resilience gate only: replay a seeded fault
@@ -91,6 +96,17 @@ conformance_gate() {
 	echo "OK (conformance gate, seed $seed)"
 }
 
+# load_gate drives the open-loop load harness for a short fixed-seed
+# window with one fault flap and the -check assertions on: sessions
+# must be admitted, no measurement may be dropped, /metrics must show
+# non-zero metric-cache and APSP-cache hit rates, and /debug/traces
+# must hold an admission trace stamped with its request ID.
+load_gate() {
+	echo "==> load gate: sftload -rates 25 -duration 3s -faults 2 -check"
+	go run ./cmd/sftload -nodes 30 -seed 5 -rates 25 -duration 3s -warmup 1s -hold 1s -faults 2 -check
+	echo "OK (load gate)"
+}
+
 # bench_gate re-measures the gate benchmarks (best of three each)
 # against the checked-in baseline snapshot and fails on a >5% ns/op or
 # >10% allocs/op regression. Single-sample best-of-three is a smoke
@@ -108,6 +124,11 @@ fi
 
 if [ "${1:-}" = "bench" ]; then
 	bench_gate
+	exit 0
+fi
+
+if [ "${1:-}" = "load" ]; then
+	load_gate
 	exit 0
 fi
 
@@ -147,5 +168,7 @@ conformance_gate "${CONFORM_SEED:-1}"
 bench_gate
 
 obs_smoke
+
+load_gate
 
 echo "OK"
