@@ -20,17 +20,24 @@
 // reference valid node IDs.
 //
 // Output: one table row per offered rate (sustained admissions/sec,
-// p50/p95/p99/p999 scheduled-start latency, rejection rate) plus a
-// machine-readable BENCH_load.json via -out. -check turns the run
-// into a smoke gate: it fails unless admissions happened, nothing was
-// dropped, /metrics shows warm metric-cache and APSP-cache hit rates,
-// and /debug/traces carries a request-ID-stamped admission trace.
+// p50/p95/p99/p999 scheduled-start latency, rejection rate, an
+// explicit saturated verdict) plus a machine-readable BENCH_load.json
+// via -out. The default rate ladder deliberately ends past the
+// server's saturation point so the artifact charts the overload
+// regime, not just the comfortable one. -check turns the run into a
+// smoke gate: it fails unless admissions happened, nothing was
+// dropped at an unsaturated point, /metrics shows warm metric-cache
+// and APSP-cache hit rates, and /debug/traces carries a
+// request-ID-stamped admission trace. -gate compares the run against
+// a checked-in BENCH_load.json and fails if sustained adm/s at the
+// baseline's top rate point dropped more than 10%.
 //
 // Usage:
 //
 //	sftload -rates 4,16,64 -duration 5s -out BENCH_load.json
 //	sftload -url http://host:8080 -nodes 50 -seed 1 -rates 32
 //	sftload -rates 24 -duration 5s -faults 2 -check
+//	sftload -rates 512 -duration 5s -gate BENCH_load.json
 package main
 
 import (
@@ -235,18 +242,33 @@ func summarize(lats []float64) latencySummary {
 	}
 }
 
+// Saturation verdict thresholds: an open-loop harness shows overload
+// as unbounded queueing delay and unfinished work, not as reduced
+// offered load, so a point is saturated when measurements were
+// dropped, completions lagged the offered arrivals, or the
+// scheduled-start p99 blew past the threshold.
+const (
+	saturationP99Ms          = 250.0
+	saturationCompletionFrac = 0.9
+)
+
 // point is one offered-rate measurement: the row of the
 // rejection-rate-vs-offered-load curve.
 type point struct {
-	OfferedRate   float64        `json:"offered_rate"`
-	Offered       int            `json:"offered"`  // scheduled arrivals in the measured window
-	Admitted      int            `json:"admitted"` // measured-window admissions
-	Rejected      int            `json:"rejected"`
-	Errors        int            `json:"errors"`
-	Dropped       int            `json:"dropped"` // scheduled but unfinished at drain end
-	AdmitsPerSec  float64        `json:"admits_per_sec"`
-	RejectionRate float64        `json:"rejection_rate"`
-	Latency       latencySummary `json:"latency"`
+	OfferedRate   float64 `json:"offered_rate"`
+	Offered       int     `json:"offered"`  // scheduled arrivals in the measured window
+	Admitted      int     `json:"admitted"` // measured-window admissions
+	Rejected      int     `json:"rejected"`
+	Errors        int     `json:"errors"`
+	Dropped       int     `json:"dropped"` // scheduled but unfinished at drain end
+	AdmitsPerSec  float64 `json:"admits_per_sec"`
+	RejectionRate float64 `json:"rejection_rate"`
+	// Saturated marks a point offered faster than the server completed
+	// it (see the saturation* thresholds). Saturated points chart the
+	// overload regime; throughput gates and latency SLOs should anchor
+	// on unsaturated ones.
+	Saturated bool           `json:"saturated"`
+	Latency   latencySummary `json:"latency"`
 }
 
 // loadDoc is the BENCH_load.json artifact.
@@ -347,7 +369,7 @@ func run(args []string, stdout io.Writer) error {
 		url      = fs.String("url", "", "drive a running sftserve at this base URL (default: serve in-process)")
 		nodes    = fs.Int("nodes", 50, "generated network size (must match the remote server's -nodes)")
 		seed     = fs.Int64("seed", 1, "workload and network seed (must match the remote server's -seed)")
-		rates    = fs.String("rates", "8,32,128", "comma-separated offered admission rates (arrivals/sec), one curve point each")
+		rates    = fs.String("rates", "8,32,128,512,2048", "comma-separated offered admission rates (arrivals/sec), one curve point each; ends past saturation by default")
 		duration = fs.Duration("duration", 5*time.Second, "measured window per rate point")
 		warmup   = fs.Duration("warmup", 1*time.Second, "per-point warmup excluded from stats")
 		hold     = fs.Duration("hold", 2*time.Second, "mean exponential session holding time before release (0 = never release)")
@@ -356,7 +378,8 @@ func run(args []string, stdout io.Writer) error {
 		par      = fs.Int("parallelism", 2, "solver stage-one parallelism for the in-process server")
 		drain    = fs.Duration("drain", 10*time.Second, "post-window wait for in-flight admissions before counting them dropped")
 		out      = fs.String("out", "", "write the BENCH_load.json artifact here")
-		check    = fs.Bool("check", false, "smoke-gate mode: fail unless admissions, zero drops, warm cache hit rates and a request-ID trace are observed")
+		check    = fs.Bool("check", false, "smoke-gate mode: fail unless admissions, zero unsaturated drops, warm cache hit rates and a request-ID trace are observed")
+		gate     = fs.String("gate", "", "regression-gate mode: fail if sustained adm/s at this baseline BENCH_load.json's top rate point dropped more than 10%")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -439,8 +462,8 @@ func run(args []string, stdout io.Writer) error {
 	doc.Config.Faults = *faultsN
 	doc.Config.Parallelism = *par
 
-	fmt.Fprintf(stdout, "%10s %9s %9s %6s %5s %9s %8s %8s %8s %8s %7s\n",
-		"rate/s", "admitted", "rejected", "errs", "drop", "adm/s", "p50ms", "p95ms", "p99ms", "p999ms", "rej%")
+	fmt.Fprintf(stdout, "%10s %9s %9s %6s %5s %9s %8s %8s %8s %8s %7s %4s\n",
+		"rate/s", "admitted", "rejected", "errs", "drop", "adm/s", "p50ms", "p95ms", "p99ms", "p999ms", "rej%", "sat")
 	for i, rate := range rateList {
 		rng := rand.New(rand.NewSource(*seed + 1000003*int64(i)))
 		plan, err := makePlan(network, rng, rate, *warmup, *duration, mix, *hold)
@@ -452,9 +475,13 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		doc.Points = append(doc.Points, pt)
-		fmt.Fprintf(stdout, "%10.1f %9d %9d %6d %5d %9.1f %8.2f %8.2f %8.2f %8.2f %6.1f%%\n",
+		sat := ""
+		if pt.Saturated {
+			sat = "yes"
+		}
+		fmt.Fprintf(stdout, "%10.1f %9d %9d %6d %5d %9.1f %8.2f %8.2f %8.2f %8.2f %6.1f%% %4s\n",
 			pt.OfferedRate, pt.Admitted, pt.Rejected, pt.Errors, pt.Dropped, pt.AdmitsPerSec,
-			pt.Latency.P50, pt.Latency.P95, pt.Latency.P99, pt.Latency.P999, 100*pt.RejectionRate)
+			pt.Latency.P50, pt.Latency.P95, pt.Latency.P99, pt.Latency.P999, 100*pt.RejectionRate, sat)
 	}
 
 	// Scrape the server's telemetry: the floats section carries the
@@ -480,8 +507,67 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *check {
-		return checkGate(doc, snap, snapErr, trace, traceErr, *faultsN > 0 && w.canFlap, stdout)
+		if err := checkGate(doc, snap, snapErr, trace, traceErr, *faultsN > 0 && w.canFlap, stdout); err != nil {
+			return err
+		}
 	}
+	if *gate != "" {
+		return gateThroughput(*gate, doc, stdout)
+	}
+	return nil
+}
+
+// loadGateTolerance is the fraction of the baseline's sustained
+// admission throughput this run must reach at the baseline's top
+// offered rate for gateThroughput to pass.
+const loadGateTolerance = 0.90
+
+// gateThroughput compares this run against a checked-in baseline
+// artifact: the point at the baseline's highest *unsaturated* offered
+// rate (saturated points measure queueing through the drain, not
+// sustainable throughput) must sustain at least loadGateTolerance of
+// the baseline's adm/s. The run must include a point at that exact
+// offered rate (pass matching -rates), otherwise the comparison is
+// vacuous and fails loudly.
+func gateThroughput(path string, doc *loadDoc, stdout io.Writer) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("load throughput gate: %w", err)
+	}
+	var base loadDoc
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("load throughput gate: parse %s: %w", path, err)
+	}
+	var top *point
+	for i := range base.Points {
+		pt := &base.Points[i]
+		if pt.Saturated {
+			continue
+		}
+		if top == nil || pt.OfferedRate > top.OfferedRate {
+			top = pt
+		}
+	}
+	if top == nil {
+		return fmt.Errorf("load throughput gate: %s has no unsaturated rate point", path)
+	}
+	var cur *point
+	for i := range doc.Points {
+		if doc.Points[i].OfferedRate == top.OfferedRate {
+			cur = &doc.Points[i]
+			break
+		}
+	}
+	if cur == nil {
+		return fmt.Errorf("load throughput gate: this run has no %.0f/s point to compare against %s", top.OfferedRate, path)
+	}
+	floor := loadGateTolerance * top.AdmitsPerSec
+	if cur.AdmitsPerSec < floor {
+		return fmt.Errorf("load throughput gate failed: %.1f adm/s at %.0f/s, below %.1f (%.0f%% of baseline %.1f)",
+			cur.AdmitsPerSec, top.OfferedRate, floor, 100*loadGateTolerance, top.AdmitsPerSec)
+	}
+	fmt.Fprintf(stdout, "load throughput gate OK: %.1f adm/s at %.0f/s (baseline %.1f, floor %.1f)\n",
+		cur.AdmitsPerSec, top.OfferedRate, top.AdmitsPerSec, floor)
 	return nil
 }
 
@@ -583,6 +669,9 @@ func runPoint(ctx context.Context, w *world, plan []arrival, rate float64, warmu
 		pt.RejectionRate = float64(pt.Rejected) / float64(completedMeasured)
 	}
 	pt.Latency = summarize(lats)
+	pt.Saturated = pt.Dropped > 0 ||
+		float64(completedMeasured) < saturationCompletionFrac*float64(offeredMeasured) ||
+		pt.Latency.P99 > saturationP99Ms
 	return pt, nil
 }
 
@@ -666,14 +755,18 @@ func checkGate(doc *loadDoc, snap *obs.Snapshot, snapErr error, trace *obs.Trace
 	var admitted, dropped int
 	for _, pt := range doc.Points {
 		admitted += pt.Admitted
-		dropped += pt.Dropped
+		if !pt.Saturated {
+			// Saturated points drop measurements by definition — that is
+			// the signal, not a harness failure.
+			dropped += pt.Dropped
+		}
 	}
 	var fails []string
 	if admitted == 0 {
 		fails = append(fails, "no sessions admitted")
 	}
 	if dropped != 0 {
-		fails = append(fails, fmt.Sprintf("%d measurements dropped (in flight past the drain budget)", dropped))
+		fails = append(fails, fmt.Sprintf("%d measurements dropped (in flight past the drain budget) at unsaturated points", dropped))
 	}
 	switch {
 	case snapErr != nil:

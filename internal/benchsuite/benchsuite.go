@@ -18,10 +18,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"sftree/internal/core"
+	"sftree/internal/dynamic"
 	"sftree/internal/faults"
 	"sftree/internal/netgen"
 	"sftree/internal/nfv"
@@ -174,6 +176,49 @@ func runnerBench(name string, mk func(*nfv.Network, nfv.Task, core.Options) (fun
 	}}, nil
 }
 
+// admitParallelBench measures the dynamic manager's concurrent
+// admission throughput: RunParallel goroutines each admit one session
+// from a fixed task mix and release it, so one op is a full
+// solve-outside-the-lock, validate-and-commit, release cycle under
+// real contention. Solves run sequentially (Parallelism 0) — the
+// concurrency under test is between admissions, not inside one.
+func admitParallelBench() (Bench, error) {
+	net, err := netgen.Generate(netgen.PaperConfig(50, 2), rand.New(rand.NewSource(21)))
+	if err != nil {
+		return Bench{}, err
+	}
+	rng := rand.New(rand.NewSource(22))
+	tasks := make([]nfv.Task, 16)
+	for i := range tasks {
+		task, err := netgen.GenerateTask(net, rng, 2+i%3, 2+i%2)
+		if err != nil {
+			return Bench{}, err
+		}
+		tasks[i] = task
+	}
+	net.Metric()
+	return Bench{Name: "AdmitParallel", F: func(b *testing.B) {
+		// Every admitted session is released inside its op, so the
+		// network ends each measurement pass in its pristine state and
+		// back-to-back passes see identical conditions.
+		m := dynamic.NewManager(net, core.Options{})
+		b.ReportAllocs()
+		var ctr atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(ctr.Add(1))
+				sess, err := m.Admit(tasks[i%len(tasks)])
+				if err != nil {
+					continue // capacity rejections under contention are data, not failures
+				}
+				if err := m.Release(sess.ID); err != nil {
+					b.Error(err)
+				}
+			}
+		})
+	}}, nil
+}
+
 // replayBench wraps the flow-level simulator replay of a solved
 // embedding, the read-path hot loop of the serving stack.
 func replayBench() (Bench, error) {
@@ -287,6 +332,11 @@ func Suite() ([]Bench, error) {
 		return nil, err
 	}
 	out = append(out, rb)
+	ab, err := admitParallelBench()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ab)
 	return out, nil
 }
 
@@ -343,15 +393,24 @@ func NewReport() (*Report, error) {
 }
 
 // GateBenches names the benchmarks the regression gate re-measures:
-// the end-to-end solver, the stage-two pass, and the warm-metric
-// re-solve cycle.
-var GateBenches = []string{"SolveTwoStage100", "OPAPass", "SolveWarmMetric100"}
+// the end-to-end solver, the stage-two pass, the warm-metric re-solve
+// cycle, and the concurrent admission pipeline.
+var GateBenches = []string{"SolveTwoStage100", "OPAPass", "SolveWarmMetric100", "AdmitParallel"}
 
 // Gate thresholds: a gate benchmark may regress at most this much
 // against the checked-in baseline before the gate fails.
 const (
 	GateMaxNsRegression     = 1.05 // >5% ns/op fails
 	GateMaxAllocsRegression = 1.10 // >10% allocs/op fails
+)
+
+// Gate threshold overrides for benchmarks whose run-to-run variance
+// exceeds the defaults: the contended admission cycle's cost and
+// allocations depend on how the scheduler interleaves commits (every
+// conflict re-solves), so it gets proportionally more slack.
+var (
+	GateNsOverrides     = map[string]float64{"AdmitParallel": 1.25}
+	GateAllocsOverrides = map[string]float64{"AdmitParallel": 1.25}
 )
 
 // Gate re-measures the gate benchmarks (best of three runs each, to
@@ -395,13 +454,21 @@ func Gate(baseline *Report) error {
 				bestAllocs = a
 			}
 		}
-		if bestNs > bl.NsPerOp*GateMaxNsRegression {
-			problems = append(problems, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit %.0f%%)",
-				name, bestNs, bl.NsPerOp, 100*(bestNs/bl.NsPerOp-1), 100*(GateMaxNsRegression-1)))
+		nsLimit := GateMaxNsRegression
+		if o, ok := GateNsOverrides[name]; ok {
+			nsLimit = o
 		}
-		if bl.AllocsPerOp > 0 && float64(bestAllocs) > float64(bl.AllocsPerOp)*GateMaxAllocsRegression {
+		allocsLimit := GateMaxAllocsRegression
+		if o, ok := GateAllocsOverrides[name]; ok {
+			allocsLimit = o
+		}
+		if bestNs > bl.NsPerOp*nsLimit {
+			problems = append(problems, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit %.0f%%)",
+				name, bestNs, bl.NsPerOp, 100*(bestNs/bl.NsPerOp-1), 100*(nsLimit-1)))
+		}
+		if bl.AllocsPerOp > 0 && float64(bestAllocs) > float64(bl.AllocsPerOp)*allocsLimit {
 			problems = append(problems, fmt.Sprintf("%s: %d allocs/op vs baseline %d (+%.1f%%, limit %.0f%%)",
-				name, bestAllocs, bl.AllocsPerOp, 100*(float64(bestAllocs)/float64(bl.AllocsPerOp)-1), 100*(GateMaxAllocsRegression-1)))
+				name, bestAllocs, bl.AllocsPerOp, 100*(float64(bestAllocs)/float64(bl.AllocsPerOp)-1), 100*(allocsLimit-1)))
 		}
 	}
 	if len(problems) > 0 {

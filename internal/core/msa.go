@@ -67,6 +67,13 @@ type Options struct {
 	// state), and the winners are reduced in candidate-index order with
 	// the same strict-< rule the sequential loop applies.
 	Parallelism int
+	// Scaffolds, when non-nil, memoizes the stage-one MOD overlay keyed
+	// by (source, chain signature, graph generation, deployment epoch):
+	// same-signature solves against the same network version skip the
+	// overlay construction entirely. Because the key pins the exact
+	// version, results are bit-identical to building fresh. The dynamic
+	// manager shares one cache across concurrent admissions.
+	Scaffolds *mod.Cache
 	// Observer, when non-nil, receives structured phase events from
 	// every stage of the solve (see observe.go). Nil costs one pointer
 	// check per emission site and nothing else.
@@ -142,7 +149,13 @@ func runMSA(net *nfv.Network, task nfv.Task, opts Options) (*state, *StageStats,
 	if err := task.Validate(net); err != nil {
 		return nil, nil, err
 	}
-	overlay, err := mod.Build(net, task.Source, task.Chain)
+	var overlay *mod.Network
+	var err error
+	if opts.Scaffolds != nil {
+		overlay, err = opts.Scaffolds.Get(net, task.Source, task.Chain)
+	} else {
+		overlay, err = mod.Build(net, task.Source, task.Chain)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: stage one: %w", err)
 	}

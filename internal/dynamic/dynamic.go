@@ -7,6 +7,17 @@
 // instances blocks later over-subscription; and departing sessions
 // release their instances once the last subscriber leaves
 // (reference-counted ownership).
+//
+// Admissions follow an optimistic two-phase protocol: the expensive
+// solve runs lock-free against an immutable snapshot of the network,
+// and only a short validate-and-commit step serializes on the
+// manager's mutex. The commit re-checks exactly the deployment state
+// the embedding touches, so concurrent admissions over disjoint
+// instances commit without re-solving; genuinely conflicting ones
+// retry a bounded number of times and then fall back to solving under
+// the lock, which guarantees progress. A single client (no
+// concurrency) always commits its first attempt against an unchanged
+// snapshot, making results bit-identical to the fully serialized path.
 package dynamic
 
 import (
@@ -18,6 +29,7 @@ import (
 	"time"
 
 	"sftree/internal/core"
+	"sftree/internal/mod"
 	"sftree/internal/nfv"
 	"sftree/internal/obs"
 )
@@ -28,6 +40,12 @@ var (
 	// ErrUnknownSession reports a release for an unknown session ID.
 	ErrUnknownSession = errors.New("dynamic: unknown session")
 )
+
+// maxAdmitRetries bounds how many times an admission re-solves after a
+// commit conflict before falling back to solving under the lock. The
+// fallback serializes with every other commit, so admission latency
+// stays bounded even under pathological contention.
+const maxAdmitRetries = 3
 
 // SessionID identifies an admitted session.
 type SessionID int
@@ -52,13 +70,21 @@ type Session struct {
 }
 
 // Manager admits and releases sessions over a shared network. All
-// methods are safe for concurrent use: admissions serialize on an
-// internal mutex, since each one reads and mutates the shared
-// deployment state.
+// methods are safe for concurrent use. Admissions solve against a
+// read snapshot outside the lock and serialize only on a short
+// validate-and-commit step; Release, Rebase and the query methods
+// serialize on the same mutex.
 type Manager struct {
 	mu   sync.Mutex
 	net  *nfv.Network
 	opts core.Options
+
+	// scaffolds memoizes stage-one MOD overlays across admissions with
+	// the same (source, chain) at the same network version. Overlays
+	// are only ever built against immutable snapshot clones (never the
+	// live, mutating network), so a cached overlay can be shared by
+	// every solver at that version.
+	scaffolds *mod.Cache
 
 	nextID   SessionID
 	sessions map[SessionID]*Session
@@ -69,6 +95,12 @@ type Manager struct {
 
 	admitted, rejected int
 	admittedCost       float64
+	// Optimistic-concurrency history: commit attempts invalidated by a
+	// concurrent commit, solve reruns those conflicts forced, and
+	// admissions that exhausted their retries and ran serialized.
+	commitConflicts     int
+	admitRetries        int
+	serializedFallbacks int
 
 	// met holds the optional registry handles (see Instrument).
 	met *managerMetrics
@@ -78,11 +110,15 @@ type Manager struct {
 }
 
 // managerMetrics are the registry handles an instrumented manager
-// updates: lifecycle counters, live-state gauges and the per-admission
-// solve latency histogram.
+// updates: lifecycle counters, live-state gauges, the per-admission
+// solve latency histogram and the commit-conflict counters of the
+// optimistic admission path.
 type managerMetrics struct {
 	admitted, rejected, released   *obs.Counter
 	repairAttempts, repairFailures *obs.Counter
+	commitConflicts                *obs.Counter
+	admitRetries                   *obs.Counter
+	serializedFallbacks            *obs.Counter
 	live, liveInstances, degraded  *obs.Gauge
 	solveMS, repairCostDelta       *obs.Histogram
 }
@@ -91,11 +127,16 @@ type managerMetrics struct {
 // network is owned by the manager afterwards: its deployment state
 // mutates as sessions come and go.
 func NewManager(net *nfv.Network, opts core.Options) *Manager {
+	// The manager owns its scaffold cache and guarantees it only ever
+	// sees immutable snapshots; a caller-supplied cache could be fed
+	// the live network elsewhere, so it is deliberately dropped.
+	opts.Scaffolds = nil
 	return &Manager{
-		net:      net,
-		opts:     opts,
-		sessions: make(map[SessionID]*Session),
-		refs:     make(map[[2]int]int),
+		net:       net,
+		opts:      opts,
+		scaffolds: mod.NewCache(),
+		sessions:  make(map[SessionID]*Session),
+		refs:      make(map[[2]int]int),
 	}
 }
 
@@ -104,23 +145,28 @@ func (m *Manager) Network() *nfv.Network { return m.net }
 
 // Instrument wires the manager's lifecycle into the registry:
 // sessions_{admitted,rejected,released}_total counters, the
-// sessions_live and instances_live gauges, and the session_solve_ms
-// per-admission latency histogram. It returns the manager for
+// sessions_live and instances_live gauges, the session_solve_ms
+// per-admission latency histogram, and the optimistic-admission
+// counters admit_commit_conflicts_total, admit_retries_total and
+// admit_serialized_fallbacks_total. It returns the manager for
 // chaining; an uninstrumented manager pays nothing.
 func (m *Manager) Instrument(reg *obs.Registry) *Manager {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.met = &managerMetrics{
-		admitted:        reg.Counter("sessions_admitted_total"),
-		rejected:        reg.Counter("sessions_rejected_total"),
-		released:        reg.Counter("sessions_released_total"),
-		repairAttempts:  reg.Counter("repair_attempts"),
-		repairFailures:  reg.Counter("repair_failures"),
-		live:            reg.Gauge("sessions_live"),
-		liveInstances:   reg.Gauge("instances_live"),
-		degraded:        reg.Gauge("sessions_degraded"),
-		solveMS:         reg.Histogram("session_solve_ms", obs.LatencyBuckets),
-		repairCostDelta: reg.Histogram("repair_cost_delta", nil),
+		admitted:            reg.Counter("sessions_admitted_total"),
+		rejected:            reg.Counter("sessions_rejected_total"),
+		released:            reg.Counter("sessions_released_total"),
+		repairAttempts:      reg.Counter("repair_attempts"),
+		repairFailures:      reg.Counter("repair_failures"),
+		commitConflicts:     reg.Counter("admit_commit_conflicts_total"),
+		admitRetries:        reg.Counter("admit_retries_total"),
+		serializedFallbacks: reg.Counter("admit_serialized_fallbacks_total"),
+		live:                reg.Gauge("sessions_live"),
+		liveInstances:       reg.Gauge("instances_live"),
+		degraded:            reg.Gauge("sessions_degraded"),
+		solveMS:             reg.Histogram("session_solve_ms", obs.LatencyBuckets),
+		repairCostDelta:     reg.Histogram("repair_cost_delta", nil),
 	}
 	return m
 }
@@ -129,9 +175,9 @@ func (m *Manager) Instrument(reg *obs.Registry) *Manager {
 // every admission and every fault-repair solve records a span tree
 // stamped with the originating request ID (taken from the admission
 // context's obs middleware value), the warm/cold metric label, the
-// early-stop flag, the stage-one parallelism and — for repairs — the
-// repair-ladder rung. It returns the manager for chaining; an
-// untraced manager pays nothing.
+// early-stop flag, the stage-one parallelism, the commit-conflict
+// retry count and — for repairs — the repair-ladder rung. It returns
+// the manager for chaining; an untraced manager pays nothing.
 func (m *Manager) Trace(buf *obs.TraceBuffer) *Manager {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -155,6 +201,36 @@ func (m *Manager) observe() {
 	m.met.degraded.Set(deg)
 }
 
+// snapshot is one admission's read view: an immutable clone of the
+// network plus the version triple that decides whether the solve
+// computed against it is still valid at commit time.
+type snapshot struct {
+	net    *nfv.Network // deep clone; never mutated after the copy
+	parent *nfv.Network // the live network object the clone was taken from
+	gen    uint64       // graph generation at snapshot time
+	epoch  uint64       // deployment epoch at snapshot time
+	opts   core.Options // solver options as configured at snapshot time
+	trace  *obs.TraceBuffer
+}
+
+// takeSnapshot captures the network and manager configuration under
+// the lock. The metric closure is warmed first so every clone (and
+// the live network) share one APSP computation instead of each cold
+// solve paying its own.
+func (m *Manager) takeSnapshot() snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.net.Metric()
+	return snapshot{
+		net:    m.net.Clone(),
+		parent: m.net,
+		gen:    m.net.Graph().Generation(),
+		epoch:  m.net.DeployEpoch(),
+		opts:   m.opts,
+		trace:  m.trace,
+	}
+}
+
 // Admit solves the task against the current deployment state,
 // installs its new instances, and reference-counts every dynamic
 // instance its flows traverse. A solver failure (no capacity, no
@@ -167,36 +243,275 @@ func (m *Manager) Admit(task nfv.Task) (*Session, error) {
 // into core.Options.Ctx, so an expiring deadline yields the best
 // feasible embedding found so far (anytime semantics) rather than an
 // abort — admission still succeeds with Result.EarlyStop set.
+//
+// The solve runs outside the manager lock against a snapshot; the
+// commit step re-acquires the lock, verifies the snapshot's version
+// (or, when only the deployment epoch moved, re-validates exactly the
+// instances and capacities the embedding touches) and installs the
+// session. On conflict it re-solves against a fresh snapshot up to
+// maxAdmitRetries times, then falls back to one serialized
+// solve-and-commit under the lock.
 func (m *Manager) AdmitCtx(ctx context.Context, task nfv.Task) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	opts := m.opts
-	opts.Ctx = ctx
-	// Thread the originating request through the solver: the obs
-	// middleware stored the X-Request-ID in ctx, and the recorder's
-	// span tree lands in the trace ring stamped with it.
-	var finish func(int, *core.Result, error)
-	if m.trace != nil {
-		var rec *obs.SpanRecorder
-		rec, finish = m.trace.StartTrace("admit", obs.RequestID(ctx))
-		opts.Observer = obs.Tee(opts.Observer, rec)
-	}
 	start := time.Now()
-	res, err := core.Solve(m.net, task, opts)
-	if finish != nil {
-		finish(opts.Parallelism, res, err)
+	var (
+		res     *core.Result
+		err     error
+		sess    *Session
+		rec     *obs.SpanRecorder
+		par     int
+		tracing *obs.TraceBuffer
+		retries int
+	)
+	for {
+		snap := m.takeSnapshot()
+		tracing, par = snap.trace, snap.opts.Parallelism
+		attempt := snap.opts
+		attempt.Ctx = ctx
+		attempt.Scaffolds = m.scaffolds
+		rec = nil
+		if tracing != nil {
+			rec = &obs.SpanRecorder{}
+			attempt.Observer = obs.Tee(attempt.Observer, rec)
+		}
+		res, err = core.Solve(snap.net, task, attempt)
+		if err != nil {
+			// Rejections need no commit: the network was not touched.
+			// A conflicting commit cannot turn an infeasible task
+			// feasible only by *adding* load, but a concurrent release
+			// could, so a rejection computed against a stale snapshot
+			// is re-checked once against the current version.
+			if stale := m.noteRejectionLocked(snap); !stale {
+				sess = nil
+				err = fmt.Errorf("%w: %w", ErrRejected, err)
+				break
+			}
+			retries++
+			if retries > maxAdmitRetries {
+				sess, res, err, rec = m.admitSerialized(ctx, task)
+				break
+			}
+			continue
+		}
+		var conflicted bool
+		sess, err, conflicted = m.tryCommit(snap, task, res)
+		if !conflicted {
+			break
+		}
+		retries++
+		if retries > maxAdmitRetries {
+			sess, res, err, rec = m.admitSerialized(ctx, task)
+			break
+		}
 	}
+	m.finishAdmit(tracing, rec, ctx, par, retries, sess, res, err, start)
+	if err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// finishAdmit records the admission's trace and latency once the
+// outcome (success, rejection, or fallback result) is final. Exactly
+// one trace is added per AdmitCtx call, carrying the spans of the
+// attempt that produced the outcome.
+func (m *Manager) finishAdmit(buf *obs.TraceBuffer, rec *obs.SpanRecorder, ctx context.Context, par, retries int, sess *Session, res *core.Result, err error, start time.Time) {
 	if m.met != nil {
 		m.met.solveMS.ObserveDuration(time.Since(start))
 	}
+	if buf == nil {
+		return
+	}
+	t := obs.Trace{
+		Op:          "admit",
+		RequestID:   obs.RequestID(ctx),
+		Session:     -1,
+		Parallelism: par,
+		Retries:     retries,
+		Start:       start,
+		DurationNs:  time.Since(start).Nanoseconds(),
+	}
+	if rec != nil {
+		t.Warm = rec.Breakdown().Warm
+		t.Spans = rec.Spans()
+	}
+	if sess != nil {
+		t.Session = int(sess.ID)
+	}
+	if res != nil {
+		t.EarlyStop = res.EarlyStop
+	}
+	if err != nil {
+		t.Err = err.Error()
+	}
+	buf.Add(t)
+}
+
+// noteRejectionLocked accounts one solver rejection. It reports the
+// rejection as stale — worth a retry instead of a final answer — when
+// the deployment state changed since the snapshot was taken: capacity
+// freed by a concurrent release could make the task feasible.
+func (m *Manager) noteRejectionLocked(snap snapshot) (stale bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.net != snap.parent ||
+		m.net.Graph().Generation() != snap.gen ||
+		m.net.DeployEpoch() != snap.epoch {
+		m.commitConflicts++
+		m.admitRetries++
+		if m.met != nil {
+			m.met.commitConflicts.Inc()
+			m.met.admitRetries.Inc()
+		}
+		return true
+	}
+	m.rejected++
+	if m.met != nil {
+		m.met.rejected.Inc()
+	}
+	return false
+}
+
+// tryCommit is the short serialized phase of an optimistic admission.
+// It validates that the solve's snapshot still describes the live
+// network — same network object, same graph generation, and either
+// the same deployment epoch or, when only the epoch moved, unchanged
+// state for exactly the instances and node capacities the embedding
+// touches — and then installs the session. conflicted=true asks the
+// caller to re-solve; a non-nil error is a terminal rejection.
+func (m *Manager) tryCommit(snap snapshot, task nfv.Task, res *core.Result) (sess *Session, err error, conflicted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.net != snap.parent || m.net.Graph().Generation() != snap.gen {
+		// Rebase swapped the network (or the topology mutated):
+		// everything the solve priced is suspect, so re-solve.
+		m.noteConflictLocked()
+		return nil, nil, true
+	}
+	if m.net.DeployEpoch() != snap.epoch && !m.revalidateLocked(task, res.Embedding) {
+		m.noteConflictLocked()
+		return nil, nil, true
+	}
+	sess, err = m.commitLocked(task, res)
+	return sess, err, false
+}
+
+// noteConflictLocked counts one invalidated commit attempt and the
+// retry it forces; callers hold m.mu.
+func (m *Manager) noteConflictLocked() {
+	m.commitConflicts++
+	m.admitRetries++
+	if m.met != nil {
+		m.met.commitConflicts.Inc()
+		m.met.admitRetries.Inc()
+	}
+}
+
+// revalidateLocked re-checks an embedding solved against an older
+// deployment epoch, touching only the state the embedding depends on:
+//
+//   - every fresh instance must still be uninstalled, and the summed
+//     demand of fresh instances per node must still fit the node's
+//     remaining capacity (constraint (1f));
+//   - every pre-existing instance a walk is served by must still be
+//     deployed, because the solver priced it at zero setup cost and
+//     its walks route through it.
+//
+// Anything else a concurrent commit changed — instances on nodes this
+// embedding avoids — cannot affect its feasibility or cost, so the
+// common case of disjoint concurrent admissions commits without a
+// re-solve. Callers hold m.mu.
+func (m *Manager) revalidateLocked(task nfv.Task, emb *nfv.Embedding) bool {
+	fresh := getKeySet()
+	defer putKeySet(fresh)
+	for _, inst := range emb.NewInstances {
+		if m.net.IsDeployed(inst.VNF, inst.Node) {
+			return false // someone installed the same instance meanwhile
+		}
+		fresh.add([2]int{inst.VNF, inst.Node})
+	}
+	// Per-node capacity: sum the demand this embedding adds to each
+	// node and check it still fits. NewInstances lists are short, so
+	// the quadratic grouping stays cheap and allocation-free.
+	for i, inst := range emb.NewInstances {
+		grouped := false
+		for _, prev := range emb.NewInstances[:i] {
+			if prev.Node == inst.Node {
+				grouped = true
+				break
+			}
+		}
+		if grouped {
+			continue // node already checked with its full addition
+		}
+		var add float64
+		for _, other := range emb.NewInstances[i:] {
+			if other.Node == inst.Node {
+				if vnf, err := m.net.VNF(other.VNF); err == nil {
+					add += vnf.Demand
+				}
+			}
+		}
+		if m.net.UsedCapacity(inst.Node)+add > m.net.Capacity(inst.Node)+1e-9 {
+			return false
+		}
+	}
+	// Reused serving instances must still exist.
+	seen := getKeySet()
+	defer putKeySet(seen)
+	k := task.K()
+	for di := range task.Destinations {
+		for lvl := 1; lvl <= k; lvl++ {
+			key := [2]int{task.Chain[lvl-1], emb.ServingNode(di, lvl)}
+			if !seen.add(key) || fresh.has(key) {
+				continue
+			}
+			if !m.net.IsDeployed(key[0], key[1]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// admitSerialized is the bounded-retry fallback: one solve-and-commit
+// entirely under the lock, exactly the pre-optimistic behavior. It
+// cannot conflict, so admission latency under pathological contention
+// degrades to the serialized path instead of livelocking. The scaffold
+// cache is bypassed because the live network mutates between (and
+// during) admissions, and cached overlays must only reference
+// immutable snapshots.
+func (m *Manager) admitSerialized(ctx context.Context, task nfv.Task) (*Session, *core.Result, error, *obs.SpanRecorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.serializedFallbacks++
+	if m.met != nil {
+		m.met.serializedFallbacks.Inc()
+	}
+	opts := m.opts
+	opts.Ctx = ctx
+	var rec *obs.SpanRecorder
+	if m.trace != nil {
+		rec = &obs.SpanRecorder{}
+		opts.Observer = obs.Tee(opts.Observer, rec)
+	}
+	res, err := core.Solve(m.net, task, opts)
 	if err != nil {
 		m.rejected++
 		if m.met != nil {
 			m.met.rejected.Inc()
 		}
-		return nil, fmt.Errorf("%w: %w", ErrRejected, err)
+		return nil, res, fmt.Errorf("%w: %w", ErrRejected, err), rec
 	}
-	// Install the brand-new instances.
+	sess, err := m.commitLocked(task, res)
+	return sess, res, err, rec
+}
+
+// commitLocked installs a validated solver result: deploys the fresh
+// instances (rolling back on the impossible install failure), builds
+// the session, and reference-counts every dynamic instance its walks
+// traverse. The critical section allocates only the session object
+// itself — the dedup scratch comes from a pool. Callers hold m.mu.
+func (m *Manager) commitLocked(task nfv.Task, res *core.Result) (*Session, error) {
 	for _, inst := range res.Embedding.NewInstances {
 		if err := m.net.Deploy(inst.VNF, inst.Node); err != nil {
 			// Roll back what we already installed; this indicates a
@@ -214,20 +529,20 @@ func (m *Manager) AdmitCtx(ctx context.Context, task nfv.Task) (*Session, error)
 
 	// Reference every dynamic instance the session traverses: new ones
 	// plus previously installed ones it reuses.
-	seen := make(map[[2]int]bool)
+	seen := getKeySet()
 	for di := range task.Destinations {
 		for lvl := 1; lvl <= task.K(); lvl++ {
 			key := [2]int{task.Chain[lvl-1], res.Embedding.ServingNode(di, lvl)}
-			if seen[key] {
+			if !seen.add(key) {
 				continue
 			}
-			seen[key] = true
 			if _, dynamicInst := m.refs[key]; dynamicInst {
 				m.refs[key]++
 				sess.uses = append(sess.uses, key)
 			}
 		}
 	}
+	putKeySet(seen)
 	for _, inst := range res.Embedding.NewInstances {
 		key := [2]int{inst.VNF, inst.Node}
 		m.refs[key]++ // first reference for a fresh instance
@@ -314,12 +629,33 @@ func (m *Manager) LiveInstances() int {
 	return len(m.refs)
 }
 
+// Refs returns a copy of the dynamic-instance reference counts:
+// (vnf, node) → number of live sessions traversing that instance.
+// Test harnesses use it to assert refcount conservation against the
+// sessions' own usage lists.
+func (m *Manager) Refs() map[[2]int]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[[2]int]int, len(m.refs))
+	for k, v := range m.refs {
+		out[k] = v
+	}
+	return out
+}
+
 // Stats summarizes the manager's history.
 type Stats struct {
 	Admitted     int     `json:"admitted"`
 	Rejected     int     `json:"rejected"`
 	Active       int     `json:"active"`
 	AdmittedCost float64 `json:"admitted_cost"` // sum of admission-time costs
+	// CommitConflicts counts optimistic commit attempts invalidated by
+	// a concurrent commit; AdmitRetries the solve reruns they forced;
+	// SerializedFallbacks admissions that exhausted their retries and
+	// solved under the lock. All three stay zero without concurrency.
+	CommitConflicts     int `json:"commit_conflicts"`
+	AdmitRetries        int `json:"admit_retries"`
+	SerializedFallbacks int `json:"serialized_fallbacks"`
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -327,9 +663,12 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Admitted:     m.admitted,
-		Rejected:     m.rejected,
-		Active:       len(m.sessions),
-		AdmittedCost: m.admittedCost,
+		Admitted:            m.admitted,
+		Rejected:            m.rejected,
+		Active:              len(m.sessions),
+		AdmittedCost:        m.admittedCost,
+		CommitConflicts:     m.commitConflicts,
+		AdmitRetries:        m.admitRetries,
+		SerializedFallbacks: m.serializedFallbacks,
 	}
 }

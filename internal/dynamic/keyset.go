@@ -1,0 +1,45 @@
+package dynamic
+
+import "sync"
+
+// keySet is a small set of (vnf, node) pairs backed by a slice with
+// linear-scan membership. Sessions traverse a handful of distinct
+// instances, so scanning beats hashing at these sizes — and unlike a
+// map the backing array survives reset, so pooled keySets make the
+// commit critical section allocation-free in steady state.
+type keySet struct {
+	keys [][2]int
+}
+
+// add inserts k and reports whether it was absent.
+func (s *keySet) add(k [2]int) bool {
+	if s.has(k) {
+		return false
+	}
+	s.keys = append(s.keys, k)
+	return true
+}
+
+// has reports membership.
+func (s *keySet) has(k [2]int) bool {
+	for _, have := range s.keys {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// reset empties the set keeping the backing array.
+func (s *keySet) reset() { s.keys = s.keys[:0] }
+
+var keySetPool = sync.Pool{New: func() any { return new(keySet) }}
+
+// getKeySet returns an empty pooled set; pair with putKeySet.
+func getKeySet() *keySet { return keySetPool.Get().(*keySet) }
+
+// putKeySet resets and recycles a set obtained from getKeySet.
+func putKeySet(s *keySet) {
+	s.reset()
+	keySetPool.Put(s)
+}

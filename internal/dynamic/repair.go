@@ -78,6 +78,13 @@ func (m *Manager) Rebase(newNet *nfv.Network) *RepairReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.net = newNet
+	// Advance the version and drop the scaffold cache: in-flight
+	// optimistic solves still hold snapshots of the old incarnation and
+	// must fail their commit checks, and overlays built against the old
+	// network are dead weight (the incarnation-keyed cache would never
+	// serve them again anyway).
+	newNet.BumpDeployEpoch()
+	m.scaffolds.Purge()
 	// Warm the metric before repairing: every session repair below
 	// prices against it, and a faults.State-materialized network may
 	// satisfy this from its per-topology cache instead of a fresh APSP.
@@ -356,24 +363,31 @@ func (m *Manager) finishRepair(sess *Session, merged *nfv.Embedding, lostIdx []i
 // current walks: newly traversed instances gain a reference, dropped
 // ones lose theirs and are undeployed once orphaned. Callers hold m.mu.
 func (m *Manager) reref(sess *Session, emb *nfv.Embedding) {
-	oldSet := make(map[[2]int]bool, len(sess.uses))
+	oldSet := getKeySet()
+	defer putKeySet(oldSet)
 	for _, key := range sess.uses {
-		oldSet[key] = true
+		oldSet.add(key)
 	}
-	newSet := make(map[[2]int]bool)
-	for key := range traversedKeys(emb) {
-		// Only dynamic instances are reference-counted: ones already in
-		// refs, or fresh installs this repair just deployed (in refs
-		// under no session yet, i.e. absent — those are exactly the
-		// embedding's NewInstances).
-		if _, dyn := m.refs[key]; dyn || isNewInstance(emb, key) {
-			newSet[key] = true
+	newSet := getKeySet()
+	defer putKeySet(newSet)
+	k := emb.Task.K()
+	for di := range emb.Task.Destinations {
+		for lvl := 1; lvl <= k; lvl++ {
+			key := [2]int{emb.Task.Chain[lvl-1], emb.ServingNode(di, lvl)}
+			if newSet.has(key) {
+				continue
+			}
+			// Only dynamic instances are reference-counted: ones already in
+			// refs, or fresh installs this repair just deployed (in refs
+			// under no session yet, i.e. absent — those are exactly the
+			// embedding's NewInstances).
+			if _, dyn := m.refs[key]; dyn || isNewInstance(emb, key) {
+				newSet.add(key)
+			}
 		}
 	}
-	keys := make([][2]int, 0, len(newSet))
-	for key := range newSet {
-		keys = append(keys, key)
-	}
+	// sess.uses keeps the slice, so it must be owned, not pooled.
+	keys := append([][2]int(nil), newSet.keys...)
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i][0] != keys[j][0] {
 			return keys[i][0] < keys[j][0]
@@ -381,12 +395,12 @@ func (m *Manager) reref(sess *Session, emb *nfv.Embedding) {
 		return keys[i][1] < keys[j][1]
 	})
 	for _, key := range keys {
-		if !oldSet[key] {
+		if !oldSet.has(key) {
 			m.refs[key]++
 		}
 	}
 	for _, key := range sess.uses {
-		if newSet[key] {
+		if newSet.has(key) {
 			continue
 		}
 		if _, ok := m.refs[key]; !ok {

@@ -10,6 +10,7 @@ package nfv
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sftree/internal/graph"
 )
@@ -67,7 +68,27 @@ type Network struct {
 	metricFn  func() *graph.Metric
 	// servers caches ServerList; SetServer invalidates it.
 	servers []int
+	// epoch counts deployment-state changes (Deploy/Undeploy). Together
+	// with the graph generation it versions the network for optimistic
+	// concurrency: two networks with the same graph, the same epoch and
+	// a common ancestry have identical deployment state, so a solver
+	// result computed against one commits cleanly against the other.
+	// Clone copies the epoch, so a snapshot stays comparable to its
+	// parent. Not synchronized; callers serialize mutations themselves
+	// (the dynamic manager mutates only under its commit lock).
+	epoch uint64
+	// id is a process-unique incarnation stamp assigned at
+	// construction and shared by clones: (id, graph generation, epoch)
+	// identifies a deployment state exactly, provided clones are not
+	// mutated independently of their parent. Snapshot clones taken for
+	// read-only solving satisfy this by construction; scratch clones
+	// that mutate (e.g. ValidateDeployed's) must never feed
+	// version-keyed caches.
+	id uint64
 }
+
+// netIDs mints process-unique network incarnation IDs.
+var netIDs atomic.Uint64
 
 // newGraphLike returns an empty graph with the same node count.
 func newGraphLike(g *graph.Graph) *graph.Graph { return graph.New(g.NumNodes()) }
@@ -84,6 +105,7 @@ func NewNetwork(g *graph.Graph, catalog []VNF) *Network {
 		catalog:  make([]VNF, len(catalog)),
 		deployed: make([][]bool, len(catalog)),
 		setup:    make([][]float64, len(catalog)),
+		id:       netIDs.Add(1),
 	}
 	copy(net.catalog, catalog)
 	for f := range catalog {
@@ -225,6 +247,7 @@ func (net *Network) Deploy(f, v int) error {
 			ErrCapacityExceeded, v, net.UsedCapacity(v), net.catalog[f].Demand, net.capacity[v])
 	}
 	net.deployed[f][v] = true
+	net.epoch++
 	return nil
 }
 
@@ -238,8 +261,27 @@ func (net *Network) Undeploy(f, v int) error {
 		return fmt.Errorf("nfv: no instance of VNF %d on node %d to undeploy", f, v)
 	}
 	net.deployed[f][v] = false
+	net.epoch++
 	return nil
 }
+
+// DeployEpoch returns the deployment-state version: a counter bumped
+// by every successful Deploy and Undeploy (and by BumpDeployEpoch).
+// Snapshot-based solvers stamp their read snapshot with it and commit
+// only when the live network still carries the same epoch — or, when
+// it moved, after re-validating exactly the state they touch.
+func (net *Network) DeployEpoch() uint64 { return net.epoch }
+
+// BumpDeployEpoch advances the deployment epoch without a deployment
+// change. The dynamic manager calls it when it rebases onto a
+// replacement network, so snapshots of the old incarnation can never
+// alias an epoch of the new one.
+func (net *Network) BumpDeployEpoch() { net.epoch++ }
+
+// IncarnationID returns the process-unique stamp NewNetwork assigned
+// to this network; Clone preserves it, so a snapshot and its parent
+// share the id while independently constructed networks never do.
+func (net *Network) IncarnationID() uint64 { return net.id }
 
 // IsDeployed reports whether an instance of f already runs on v.
 func (net *Network) IsDeployed(f, v int) bool { return net.deployed[f][v] }
@@ -316,6 +358,8 @@ func (net *Network) Clone() *Network {
 		metricGen: net.metricGen,
 		metricFn:  net.metricFn,
 		servers:   net.servers, // shared read-only; SetServer replaces, never mutates
+		epoch:     net.epoch,
+		id:        net.id,
 	}
 	if net.coords != nil {
 		c.coords = append([]Point(nil), net.coords...)

@@ -8,6 +8,7 @@ import (
 	"sftree/internal/core"
 	"sftree/internal/faults"
 	"sftree/internal/graph"
+	"sftree/internal/mod"
 	"sftree/internal/nfv"
 )
 
@@ -19,6 +20,9 @@ import (
 //	    nfv.Network.Metric generation cache (APSP closure reuse)
 //	apsp_cache_hits / apsp_cache_misses / apsp_cache_hit_rate
 //	    faults.State per-down-set APSP cache
+//	scaffold_cache_hits / scaffold_cache_misses / scaffold_cache_hit_rate
+//	    mod.Cache signature-keyed MOD-overlay scaffolds (stage-one
+//	    construction skipped on same-signature, same-version solves)
 //	sp_pool_gets / sp_pool_news / sp_pool_reuse_rate
 //	    graph shortest-path scratch arenas (sync.Pool)
 //	journal_pool_gets / journal_pool_news / journal_pool_reuse_rate
@@ -43,6 +47,12 @@ func RegisterCacheStats(reg *Registry) {
 	reg.GaugeFunc("apsp_cache_misses", func() float64 { _, m := faults.CacheStats(); return float64(m) })
 	reg.GaugeFunc("apsp_cache_hit_rate", func() float64 {
 		h, m := faults.CacheStats()
+		return ratio(h, h+m)
+	})
+	reg.GaugeFunc("scaffold_cache_hits", func() float64 { h, _ := mod.CacheStats(); return float64(h) })
+	reg.GaugeFunc("scaffold_cache_misses", func() float64 { _, m := mod.CacheStats(); return float64(m) })
+	reg.GaugeFunc("scaffold_cache_hit_rate", func() float64 {
+		h, m := mod.CacheStats()
 		return ratio(h, h+m)
 	})
 	reg.GaugeFunc("sp_pool_gets", func() float64 { g, _ := graph.PoolStats(); return float64(g) })

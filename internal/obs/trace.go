@@ -33,6 +33,11 @@ type Trace struct {
 	EarlyStop bool `json:"early_stop,omitempty"`
 	// Parallelism is the stage-one worker setting the solve ran with.
 	Parallelism int `json:"parallelism"`
+	// Retries counts solve reruns forced by commit conflicts: for
+	// admissions, how many times a concurrent commit invalidated the
+	// optimistic solve before this trace's spans were committed (0 on
+	// the uncontended path).
+	Retries int `json:"retries,omitempty"`
 	// Start and DurationNs bracket the run's wall time.
 	Start      time.Time `json:"start"`
 	DurationNs int64     `json:"duration_ns"`

@@ -9,9 +9,11 @@
 #   ./tools.sh quick    # vet + gofmt only (skip the race run and smoke)
 #   ./tools.sh load     # load gate only: fixed-seed open-loop sftload
 #                       # run against an in-process sftserve, asserting
-#                       # non-zero admissions, zero dropped measurements,
-#                       # live cache hit-rate floats on /metrics and a
-#                       # request-ID-stamped trace on /debug/traces
+#                       # non-zero admissions, zero dropped measurements
+#                       # at unsaturated points, live cache hit-rate
+#                       # floats on /metrics, a request-ID-stamped trace
+#                       # on /debug/traces, and no >10% sustained-adm/s
+#                       # regression at BENCH_load.json's top rate point
 #   ./tools.sh obs      # obs smoke only: build cmds, boot sftserve,
 #                       # assert /healthz /readyz /metrics respond
 #   ./tools.sh chaos    # resilience gate only: replay a seeded fault
@@ -98,12 +100,20 @@ conformance_gate() {
 
 # load_gate drives the open-loop load harness for a short fixed-seed
 # window with one fault flap and the -check assertions on: sessions
-# must be admitted, no measurement may be dropped, /metrics must show
-# non-zero metric-cache and APSP-cache hit rates, and /debug/traces
-# must hold an admission trace stamped with its request ID.
+# must be admitted, no measurement may be dropped at an unsaturated
+# point, /metrics must show non-zero metric-cache and APSP-cache hit
+# rates, and /debug/traces must hold an admission trace stamped with
+# its request ID. A second run re-measures the checked-in
+# BENCH_load.json's top rate point (same network, seed and solver
+# parallelism as the baseline) and fails if sustained adm/s dropped
+# more than 10% — regenerate the baseline after an intentional change
+# with:
+#   go run ./cmd/sftload -parallelism 4 -out BENCH_load.json
 load_gate() {
 	echo "==> load gate: sftload -rates 25 -duration 3s -faults 2 -check"
 	go run ./cmd/sftload -nodes 30 -seed 5 -rates 25 -duration 3s -warmup 1s -hold 1s -faults 2 -check
+	echo "==> load throughput gate: top BENCH_load.json rate point, -10% tolerance"
+	go run ./cmd/sftload -nodes 50 -seed 1 -rates 512 -duration 5s -warmup 1s -hold 2s -faults 2 -parallelism 4 -gate BENCH_load.json
 	echo "OK (load gate)"
 }
 
