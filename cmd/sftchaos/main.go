@@ -9,11 +9,21 @@
 //	sftchaos -nodes 40 -sessions 30 -faults 20 -seed 7
 //	sftchaos -schedule scenario.json
 //	sftchaos -gen-schedule 20 > scenario.json
+//	sftchaos -crash 2 -ops 30 -seed 7
 //
 // The process exits non-zero when any non-degraded session fails
 // validation after a fault, or when repairs never reuse a surviving
 // instance despite repairs having happened — the two acceptance
 // criteria of the resilience gate.
+//
+// -crash N switches to the durability gate: the same seeded script of
+// admissions, releases and faults runs twice — once untouched (the
+// oracle), once with N SIGKILL-equivalent crashes injected (the last
+// one inside an admission's commit critical section, between WAL
+// append and in-memory apply), each followed by a restore from the
+// write-ahead log. The process exits non-zero when the restored run
+// lost a committed session, diverged from the oracle in any session,
+// refcount or accounting byte, or failed conformance validation.
 package main
 
 import (
@@ -47,9 +57,16 @@ func run(args []string, w io.Writer) error {
 		schedule = fs.String("schedule", "", "replay this JSON scenario file instead of generating")
 		genOnly  = fs.Int("gen-schedule", 0, "emit a seeded schedule of this length as JSON and exit")
 		verbose  = fs.Bool("v", false, "include per-event breakdown in the report")
+		crashes  = fs.Int("crash", 0, "run the crash-injection durability gate with this many crash points")
+		ops      = fs.Int("ops", 30, "mixed operations after the initial population (crash gate)")
+		walDir   = fs.String("wal-dir", "", "WAL directory for the crash gate (default: a temp dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *crashes > 0 {
+		return runCrashGate(w, *nodes, *sessions, *ops, *nfaults, *crashes, *seed, *walDir)
 	}
 
 	if *genOnly > 0 {
@@ -98,6 +115,44 @@ func run(args []string, w io.Writer) error {
 	}
 	if repairs := rep.Patched + rep.Reembeds; repairs > 0 && rep.RepairsWithReuse == 0 {
 		return errors.New("repairs happened but none reused a surviving instance")
+	}
+	return nil
+}
+
+// runCrashGate executes the oracle-vs-crash comparison. Crash points
+// are spread evenly across the op script; the final one fires inside
+// the commit critical section (between WAL append and in-memory
+// apply), the window a kill between operations can never hit.
+func runCrashGate(w io.Writer, nodes, sessions, ops, nfaults, crashes int, seed int64, walDir string) error {
+	total := sessions + ops
+	var points []sim.CrashPoint
+	for i := 1; i <= crashes; i++ {
+		points = append(points, sim.CrashPoint{Op: i * total / (crashes + 1)})
+	}
+	if len(points) > 0 {
+		points[len(points)-1].MidCommit = true
+	}
+	rep, err := sim.RunCrash(sim.CrashConfig{
+		Nodes:           nodes,
+		Seed:            seed,
+		Sessions:        sessions,
+		Ops:             ops,
+		Faults:          nfaults,
+		Crashes:         points,
+		CheckpointEvery: total / 3,
+		Dir:             walDir,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Passed() {
+		return fmt.Errorf("crash gate failed: %d lost sessions, %d mismatches, %d validation errors",
+			len(rep.LostSessions), len(rep.Mismatches), len(rep.ValidationErrors))
 	}
 	return nil
 }

@@ -32,12 +32,22 @@
 // a checked-in BENCH_load.json and fails if sustained adm/s at the
 // baseline's top rate point dropped more than 10%.
 //
+// -restart turns the run into a durability drill: the in-process
+// manager logs every commit to a write-ahead log, is killed
+// (SIGKILL-equivalent: the log descriptor dies without a flush)
+// -restart into the first rate point while admissions are in flight,
+// and is recovered from disk and hot-swapped back into the server.
+// The run fails unless every acked admission survives the recovery;
+// the affected rate point records restarted/restore_ms/lost_committed
+// in BENCH_load.json, and -check additionally bounds the p99 blip.
+//
 // Usage:
 //
 //	sftload -rates 4,16,64 -duration 5s -out BENCH_load.json
 //	sftload -url http://host:8080 -nodes 50 -seed 1 -rates 32
 //	sftload -rates 24 -duration 5s -faults 2 -check
 //	sftload -rates 512 -duration 5s -gate BENCH_load.json
+//	sftload -rates 16 -duration 4s -restart 2s -check
 package main
 
 import (
@@ -67,6 +77,7 @@ import (
 	"sftree/internal/nfv"
 	"sftree/internal/obs"
 	"sftree/internal/server"
+	"sftree/internal/wal"
 )
 
 func main() {
@@ -269,6 +280,13 @@ type point struct {
 	// on unsaturated ones.
 	Saturated bool           `json:"saturated"`
 	Latency   latencySummary `json:"latency"`
+	// Restarted marks the point during which -restart killed and
+	// recovered the in-process manager; RestoreMs is the WAL replay
+	// duration and LostCommitted the number of acked admissions the
+	// recovered state failed to carry (the gate requires zero).
+	Restarted     bool    `json:"restarted,omitempty"`
+	RestoreMs     float64 `json:"restore_ms,omitempty"`
+	LostCommitted int     `json:"lost_committed,omitempty"`
 }
 
 // loadDoc is the BENCH_load.json artifact.
@@ -304,10 +322,29 @@ type world struct {
 	client *server.Client
 	// self-serve only:
 	ts           *httptest.Server
+	srv          *server.Server
+	reg          *obs.Registry
+	opts         core.Options
 	mgr          *dynamic.Manager
 	state        *faults.State
 	flapU, flapV int
 	canFlap      bool
+
+	// Durable-restart harness (-restart): the manager writes a WAL and
+	// is killed and recovered from it mid-run. restartMu serializes the
+	// swap against the fault flapper; HTTP handlers are already safe
+	// (they take one manager reference per request via srv.Manager()).
+	restartMu sync.Mutex
+	walDir    string
+	log       *wal.Log
+
+	// Committed-session audit: every acked admission and release is
+	// recorded so the end of the run can prove the recovered state lost
+	// nothing the client was told succeeded.
+	tracking   bool
+	trackMu    sync.Mutex
+	ackedAdmit map[dynamic.SessionID]bool
+	ackedRel   map[dynamic.SessionID]bool
 }
 
 func (w *world) close() {
@@ -316,9 +353,90 @@ func (w *world) close() {
 	}
 }
 
+func (w *world) trackAdmit(id dynamic.SessionID) {
+	if !w.tracking {
+		return
+	}
+	w.trackMu.Lock()
+	w.ackedAdmit[id] = true
+	w.trackMu.Unlock()
+}
+
+func (w *world) trackRelease(id dynamic.SessionID) {
+	if !w.tracking {
+		return
+	}
+	w.trackMu.Lock()
+	w.ackedRel[id] = true
+	w.trackMu.Unlock()
+}
+
+// restart simulates a process kill and recovery under live traffic:
+// the WAL loses its descriptor without a flush (in-flight commits race
+// the crash exactly as they would a SIGKILL), the dead manager is
+// unplugged from the server and drained, and a fresh manager restored
+// from disk is swapped in. Admissions arriving during the blip fail
+// fast; the audit at the end of the run proves every acked commit
+// survived.
+func (w *world) restart(ctx context.Context) (*dynamic.RecoverReport, error) {
+	w.restartMu.Lock()
+	defer w.restartMu.Unlock()
+	old := w.mgr
+	w.log.Crash()
+	w.srv.SetManager(nil) // blip: new requests answer 501 until the swap
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := old.Drain(dctx); err != nil {
+		return nil, fmt.Errorf("drain dead manager: %w", err)
+	}
+	l, rec, err := wal.Open(w.walDir, wal.Config{Policy: wal.SyncAlways})
+	if err != nil {
+		return nil, fmt.Errorf("reopen wal: %w", err)
+	}
+	// The drained manager's network is exactly the committed state the
+	// WAL describes (failed commits rolled their deployments back), so
+	// the restore re-attaches to it rather than rebuilding from scratch.
+	m, rep, err := dynamic.Restore(old.Network(), l, rec, w.opts)
+	if err != nil {
+		return nil, fmt.Errorf("restore: %w", err)
+	}
+	m = m.Instrument(w.reg).Trace(w.srv.Traces())
+	w.mgr, w.log = m, l
+	w.srv.SetManager(m)
+	return rep, nil
+}
+
+// auditCommitted compares the acked-commit ledger against the live
+// manager: an acked admission with no acked release must still be
+// live, and nothing may be live that was never acked.
+func (w *world) auditCommitted() (lost, phantom int) {
+	w.restartMu.Lock()
+	mgr := w.mgr
+	w.restartMu.Unlock()
+	live := make(map[dynamic.SessionID]bool)
+	for _, s := range mgr.Sessions() {
+		live[s.ID] = true
+	}
+	w.trackMu.Lock()
+	defer w.trackMu.Unlock()
+	for id := range w.ackedAdmit {
+		if !w.ackedRel[id] && !live[id] {
+			lost++
+		}
+	}
+	for id := range live {
+		if !w.ackedAdmit[id] {
+			phantom++
+		}
+	}
+	return lost, phantom
+}
+
 // flap applies one fault event and rebases the manager onto the
 // re-materialized substrate, carrying live deployments over.
 func (w *world) flap(ev faults.Event) {
+	w.restartMu.Lock()
+	defer w.restartMu.Unlock()
 	if err := w.state.Apply(ev); err != nil {
 		return
 	}
@@ -380,6 +498,7 @@ func run(args []string, stdout io.Writer) error {
 		out      = fs.String("out", "", "write the BENCH_load.json artifact here")
 		check    = fs.Bool("check", false, "smoke-gate mode: fail unless admissions, zero unsaturated drops, warm cache hit rates and a request-ID trace are observed")
 		gate     = fs.String("gate", "", "regression-gate mode: fail if sustained adm/s at this baseline BENCH_load.json's top rate point dropped more than 10%")
+		restart  = fs.Duration("restart", 0, "kill and WAL-restore the in-process manager this long into the first rate point (0 disables; in-process mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -404,16 +523,39 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	w := &world{url: *url}
+	w := &world{url: *url, opts: core.Options{Parallelism: *par}}
 	if *url == "" {
 		reg := obs.NewRegistry()
 		quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
-		srv := server.NewWith(network, core.Options{Parallelism: *par}, server.Config{
+		cfg := server.Config{
 			Registry: reg,
 			Logger:   quiet,
-		})
+		}
+		if *restart > 0 {
+			// Durable-restart mode: the manager logs every commit to a
+			// WAL (fsync per append, the crash-safe policy) so the
+			// mid-run kill has something to recover from.
+			w.walDir, err = os.MkdirTemp("", "sftload-wal-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(w.walDir)
+			l, _, err := wal.Open(w.walDir, wal.Config{Policy: wal.SyncAlways})
+			if err != nil {
+				return err
+			}
+			defer func() { w.log.Close() }()
+			w.log = l
+			cfg.Manager = dynamic.NewManager(network, w.opts).AttachWAL(l)
+			w.tracking = true
+			w.ackedAdmit = make(map[dynamic.SessionID]bool)
+			w.ackedRel = make(map[dynamic.SessionID]bool)
+		}
+		srv := server.NewWith(network, w.opts, cfg)
 		w.ts = httptest.NewServer(srv)
 		w.url = w.ts.URL
+		w.srv = srv
+		w.reg = reg
 		w.mgr = srv.Manager()
 		w.state = faults.NewState(network)
 		if *faultsN > 0 {
@@ -428,8 +570,13 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		defer w.close()
-	} else if *faultsN > 0 {
-		fmt.Fprintln(stdout, "sftload: -faults needs the in-process server; ignoring against -url")
+	} else {
+		if *restart > 0 {
+			return errors.New("-restart needs the in-process server; it cannot kill a remote one")
+		}
+		if *faultsN > 0 {
+			fmt.Fprintln(stdout, "sftload: -faults needs the in-process server; ignoring against -url")
+		}
 	}
 	transport := &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}
 	defer transport.CloseIdleConnections()
@@ -464,15 +611,38 @@ func run(args []string, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "%10s %9s %9s %6s %5s %9s %8s %8s %8s %8s %7s %4s\n",
 		"rate/s", "admitted", "rejected", "errs", "drop", "adm/s", "p50ms", "p95ms", "p99ms", "p999ms", "rej%", "sat")
+	type restartResult struct {
+		rep *dynamic.RecoverReport
+		err error
+	}
 	for i, rate := range rateList {
 		rng := rand.New(rand.NewSource(*seed + 1000003*int64(i)))
 		plan, err := makePlan(network, rng, rate, *warmup, *duration, mix, *hold)
 		if err != nil {
 			return err
 		}
+		// The kill fires -restart into the first rate point, concurrent
+		// with the offered load; runPoint's own drain absorbs the blip.
+		var restartCh chan restartResult
+		if i == 0 && *restart > 0 {
+			restartCh = make(chan restartResult, 1)
+			go func() {
+				sleepCtx(ctx, *restart)
+				rep, err := w.restart(ctx)
+				restartCh <- restartResult{rep, err}
+			}()
+		}
 		pt, err := runPoint(ctx, w, plan, rate, *warmup, *duration, *faultsN, *drain, relCtx, &relWG)
 		if err != nil {
 			return err
+		}
+		if restartCh != nil {
+			res := <-restartCh
+			if res.err != nil {
+				return fmt.Errorf("restart harness: %w", res.err)
+			}
+			pt.Restarted = true
+			pt.RestoreMs = float64(res.rep.ReplayDuration) / float64(time.Millisecond)
 		}
 		doc.Points = append(doc.Points, pt)
 		sat := ""
@@ -482,6 +652,42 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%10.1f %9d %9d %6d %5d %9.1f %8.2f %8.2f %8.2f %8.2f %6.1f%% %4s\n",
 			pt.OfferedRate, pt.Admitted, pt.Rejected, pt.Errors, pt.Dropped, pt.AdmitsPerSec,
 			pt.Latency.P50, pt.Latency.P95, pt.Latency.P99, pt.Latency.P999, 100*pt.RejectionRate, sat)
+	}
+
+	// Durable-restart audit: quiesce the release goroutines, then prove
+	// the recovered manager still holds every session a client was told
+	// was committed and nothing it was not. A straggler admission still
+	// in flight past the drain budget can commit between the two ledger
+	// reads, so a dirty verdict is re-checked once after a settle.
+	var restartPt *point
+	if *restart > 0 {
+		relCancel()
+		relWG.Wait()
+		lost, phantom := w.auditCommitted()
+		if lost > 0 || phantom > 0 {
+			time.Sleep(500 * time.Millisecond)
+			lost, phantom = w.auditCommitted()
+		}
+		for i := range doc.Points {
+			if doc.Points[i].Restarted {
+				doc.Points[i].LostCommitted = lost
+				restartPt = &doc.Points[i]
+			}
+		}
+		w.trackMu.Lock()
+		acked, released := len(w.ackedAdmit), len(w.ackedRel)
+		w.trackMu.Unlock()
+		fmt.Fprintf(stdout, "restart audit: %d acked admissions, %d acked releases, %d lost, %d phantom\n",
+			acked, released, lost, phantom)
+		if restartPt == nil {
+			return errors.New("-restart never fired: no rate point was running at the kill instant")
+		}
+		if lost > 0 {
+			return fmt.Errorf("restart lost %d committed sessions", lost)
+		}
+		if phantom > 0 {
+			return fmt.Errorf("restart resurrected %d sessions no client was acked for", phantom)
+		}
 	}
 
 	// Scrape the server's telemetry: the floats section carries the
@@ -507,7 +713,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *check {
-		if err := checkGate(doc, snap, snapErr, trace, traceErr, *faultsN > 0 && w.canFlap, stdout); err != nil {
+		if err := checkGate(doc, snap, snapErr, trace, traceErr, *faultsN > 0 && w.canFlap, restartPt, stdout); err != nil {
 			return err
 		}
 	}
@@ -619,12 +825,15 @@ func runPoint(ctx context.Context, w *world, plan []arrival, rate float64, warmu
 			switch {
 			case err == nil:
 				s.out = outAdmitted
+				w.trackAdmit(resp.ID)
 				if a.hold > 0 {
 					relWG.Add(1)
 					go func(id dynamic.SessionID, d time.Duration) {
 						defer relWG.Done()
 						if sleepCtx(relCtx, d) {
-							_ = w.client.Release(relCtx, id)
+							if w.client.Release(relCtx, id) == nil {
+								w.trackRelease(id)
+							}
 						}
 					}(resp.ID, a.hold)
 				}
@@ -751,7 +960,7 @@ func sampleTrace(ctx context.Context, base string) (*obs.Trace, error) {
 
 // checkGate enforces the smoke-gate assertions; any failure is an
 // error the caller exits nonzero on.
-func checkGate(doc *loadDoc, snap *obs.Snapshot, snapErr error, trace *obs.Trace, traceErr error, expectAPSP bool, stdout io.Writer) error {
+func checkGate(doc *loadDoc, snap *obs.Snapshot, snapErr error, trace *obs.Trace, traceErr error, expectAPSP bool, restartPt *point, stdout io.Writer) error {
 	var admitted, dropped int
 	for _, pt := range doc.Points {
 		admitted += pt.Admitted
@@ -786,6 +995,18 @@ func checkGate(doc *loadDoc, snap *obs.Snapshot, snapErr error, trace *obs.Trace
 		fails = append(fails, fmt.Sprintf("trace propagation: %v", traceErr))
 	} else if trace.RequestID == "" {
 		fails = append(fails, "sampled trace lacks a request ID")
+	}
+	if restartPt != nil {
+		// The kill-and-recover blip must stay bounded: zero acked
+		// commits lost (also enforced unconditionally) and a p99 that
+		// never crosses the saturation threshold — recovery is a fast
+		// replay, not an outage.
+		if restartPt.LostCommitted != 0 {
+			fails = append(fails, fmt.Sprintf("restart lost %d committed sessions", restartPt.LostCommitted))
+		}
+		if restartPt.Latency.P99 > saturationP99Ms {
+			fails = append(fails, fmt.Sprintf("restart blip p99 %.1fms exceeds %.0fms", restartPt.Latency.P99, saturationP99Ms))
+		}
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("load gate failed:\n  - %s", strings.Join(fails, "\n  - "))

@@ -133,6 +133,52 @@ func TestLoadRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestLoadRunRestartDrill kills and WAL-restores the in-process
+// manager mid-window and requires the audit to prove zero
+// committed-session loss, with the restart fields in the artifact.
+func TestLoadRunRestartDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load window too long for -short")
+	}
+	outPath := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var buf bytes.Buffer
+	args := []string{
+		"-nodes", "25", "-seed", "9",
+		"-rates", "12", "-duration", "1500ms", "-warmup", "300ms",
+		"-hold", "600ms", "-faults", "0",
+		"-restart", "800ms",
+		"-out", outPath, "-check",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "restart audit:") || !strings.Contains(buf.String(), " 0 lost, 0 phantom") {
+		t.Errorf("audit verdict missing or dirty:\n%s", buf.String())
+	}
+
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc loadDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Points) != 1 {
+		t.Fatalf("artifact = %+v", doc)
+	}
+	pt := doc.Points[0]
+	if !pt.Restarted || pt.LostCommitted != 0 {
+		t.Errorf("restart point = %+v, want restarted with zero loss", pt)
+	}
+	if pt.RestoreMs < 0 {
+		t.Errorf("restore duration %v", pt.RestoreMs)
+	}
+	if pt.Admitted == 0 {
+		t.Error("no admissions measured across the restart")
+	}
+}
+
 func TestLoadRunBadFlags(t *testing.T) {
 	if err := run([]string{"-rates", "0"}, &bytes.Buffer{}); err == nil {
 		t.Error("zero rate accepted")
@@ -142,5 +188,8 @@ func TestLoadRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-url", "http://127.0.0.1:1", "-restart", "1s"}, &bytes.Buffer{}); err == nil {
+		t.Error("-restart against a remote server accepted")
 	}
 }

@@ -20,6 +20,18 @@
 //	sftserve -listen :8080 -nodes 50             # sessions on a generated network
 //	sftserve -listen :8080 -stateless            # stateless endpoints only
 //	sftserve -listen :8080 -debug                # + pprof and expvar endpoints
+//	sftserve -listen :8080 -nodes 50 -wal-dir /var/lib/sft/wal
+//
+// With -wal-dir the session API is durable: every admission, release
+// and repair outcome is written to a checksummed write-ahead log
+// before it commits, a compacted snapshot is folded in every
+// -snapshot-interval, and a restart replays the log — the process
+// comes back with every committed session, its refcount ledger and
+// its accounting intact, cross-checked against the conformance
+// validator before serving. Recovery counters (replayed records,
+// replay duration, torn-tail detection, unplaceable instances) are
+// published in /metrics. On graceful shutdown the server drains
+// in-flight admissions, writes a final snapshot and closes the log.
 package main
 
 import (
@@ -39,8 +51,10 @@ import (
 
 	"sftree"
 	"sftree/internal/core"
+	"sftree/internal/dynamic"
 	"sftree/internal/obs"
 	"sftree/internal/server"
+	"sftree/internal/wal"
 )
 
 func main() {
@@ -55,6 +69,22 @@ func main() {
 // onReady, when set (tests), receives the bound listen address.
 var onReady func(addr string)
 
+// publishRecovery exposes the restore outcome in /metrics, so a
+// scraper can tell a clean boot from one that replayed a torn log or
+// degraded sessions the topology no longer supports.
+func publishRecovery(reg *obs.Registry, rep *dynamic.RecoverReport) {
+	reg.Gauge("restore_snapshot_seq").Set(int64(rep.SnapshotSeq))
+	reg.Gauge("restore_replayed_records").Set(int64(rep.ReplayedRecords))
+	reg.Gauge("restore_sessions_recovered").Set(int64(rep.SessionsRecovered))
+	reg.Gauge("restore_refs_deployed").Set(int64(rep.RefsDeployed))
+	reg.Gauge("restore_refs_unplaceable").Set(int64(rep.RefsUnplaceable))
+	reg.Gauge("restore_sessions_degraded").Set(int64(rep.SessionsDegraded))
+	reg.Gauge("restore_replay_ms").Set(rep.ReplayDuration.Milliseconds())
+	if rep.TornTail {
+		reg.Gauge("restore_torn_tail").Set(1)
+	}
+}
+
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sftserve", flag.ContinueOnError)
 	var (
@@ -67,6 +97,10 @@ func run(ctx context.Context, args []string) error {
 		drain     = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 		solveMax  = fs.Duration("solve-timeout", 0, "ceiling on any one solve/admission; the solver returns its best embedding so far at the deadline (0 = unbounded)")
 		sample    = fs.Duration("sample-interval", 5*time.Second, "Go-runtime sampler period feeding /metrics (goroutines, heap, GC pauses); 0 disables")
+		walDir    = fs.String("wal-dir", "", "write-ahead-log directory for durable admission state; empty disables durability")
+		snapEvery = fs.Duration("snapshot-interval", time.Minute, "how often to fold the WAL into a compacted snapshot; 0 disables periodic snapshots")
+		fsyncPol  = fs.String("fsync", "always", "WAL fsync policy: always (fsync per commit), interval (batched), none (OS-buffered)")
+		fsyncIvl  = fs.Duration("fsync-interval", 100*time.Millisecond, "batching period for -fsync interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,14 +131,72 @@ func run(ctx context.Context, args []string) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	reg := obs.NewRegistry()
 	reg.PublishExpvar("sftree")
+
+	// With -wal-dir, recover durable admission state before serving:
+	// any committed session from a previous incarnation is replayed,
+	// re-deployed and conformance-checked, and the restored manager is
+	// handed to the server instead of a fresh one.
+	var (
+		mgr    *dynamic.Manager
+		walLog *wal.Log
+	)
+	if *walDir != "" && network != nil {
+		policy, err := wal.ParseSyncPolicy(*fsyncPol)
+		if err != nil {
+			return err
+		}
+		l, rec, err := wal.Open(*walDir, wal.Config{Policy: policy, Interval: *fsyncIvl})
+		if err != nil {
+			return fmt.Errorf("open wal %s: %w", *walDir, err)
+		}
+		m, rrep, err := dynamic.Restore(network, l, rec, core.Options{})
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("restore from %s: %w", *walDir, err)
+		}
+		mgr, walLog = m, l
+		publishRecovery(reg, rrep)
+		logger.Info("admission state restored",
+			"dir", *walDir,
+			"snapshot_seq", rrep.SnapshotSeq,
+			"replayed", rrep.ReplayedRecords,
+			"sessions", rrep.SessionsRecovered,
+			"torn_tail", rrep.TornTail,
+			"unplaceable", rrep.RefsUnplaceable,
+			"degraded", rrep.SessionsDegraded,
+			"replay_ms", rrep.ReplayDuration.Milliseconds())
+	}
+
 	srv := server.NewWith(network, core.Options{}, server.Config{
 		Registry:     reg,
 		Logger:       logger,
 		SolveTimeout: *solveMax,
+		Manager:      mgr,
 	})
 	if *sample > 0 {
 		stopSampler := obs.StartRuntimeSampler(ctx, reg, *sample)
 		defer stopSampler()
+	}
+
+	// Periodic compaction: fold the WAL into a snapshot so restart
+	// replay stays bounded by -snapshot-interval worth of records.
+	if walLog != nil && *snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if seq, err := srv.Manager().Checkpoint(); err != nil {
+						logger.Error("snapshot failed", "err", err)
+					} else {
+						logger.Info("snapshot written", "seq", seq)
+					}
+				}
+			}
+		}()
 	}
 
 	mux := http.NewServeMux()
@@ -146,6 +238,27 @@ func run(ctx context.Context, args []string) error {
 	defer cancel()
 	shutdownErr := hs.Shutdown(sctx)
 	<-errCh // Serve has returned http.ErrServerClosed
+
+	// Durability epilogue, strictly after the HTTP drain: wait for any
+	// admission still inside its commit critical section (Shutdown
+	// returns when handlers finish, but a commit raced against the
+	// deadline may still hold the WAL), then fold everything into a
+	// final snapshot so the next boot replays nothing, and only then
+	// close the log.
+	if walLog != nil {
+		m := srv.Manager()
+		if err := m.Drain(sctx); err != nil {
+			logger.Error("drain in-flight admissions", "err", err)
+		}
+		if seq, err := m.Checkpoint(); err != nil {
+			logger.Error("final snapshot failed", "err", err)
+		} else {
+			logger.Info("final snapshot written", "seq", seq)
+		}
+		if err := walLog.Close(); err != nil {
+			logger.Error("close wal", "err", err)
+		}
+	}
 
 	// Final metrics flush, so a terminated process leaves its counters
 	// in the log.

@@ -1,0 +1,320 @@
+package dynamic
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"sftree/internal/core"
+	"sftree/internal/faults"
+	"sftree/internal/nfv"
+	"sftree/internal/wal"
+)
+
+// openWAL opens a log in a fresh temp dir with fsync-per-append (the
+// crash-safe policy the durability tests rely on).
+func openWAL(t *testing.T, dir string) (*wal.Log, *wal.Recovery) {
+	t.Helper()
+	l, rec, err := wal.Open(dir, wal.Config{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	return l, rec
+}
+
+// mustRestore reopens dir and restores a manager onto net, failing the
+// test on a replay error or any conformance cross-check finding.
+func mustRestore(t *testing.T, dir string, net *nfv.Network) (*Manager, *RecoverReport) {
+	t.Helper()
+	l, rec := openWAL(t, dir)
+	m, rep, err := Restore(net, l, rec, core.Options{})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("restore cross-check errors: %v", rep.Errors)
+	}
+	if err := m.VerifyRefs(); err != nil {
+		t.Fatalf("restored refcounts: %v", err)
+	}
+	return m, rep
+}
+
+// stateFingerprint captures everything two managers must agree on:
+// per-session embedding bytes, cost, degradation marks and usage
+// lists, plus the refcount ledger and admission accounting.
+func stateFingerprint(t *testing.T, m *Manager) string {
+	t.Helper()
+	type sessState struct {
+		ID       SessionID
+		Emb      json.RawMessage
+		Cost     float64
+		Degraded bool
+		Lost     []int
+		Uses     [][2]int
+	}
+	var doc struct {
+		Sessions     []sessState
+		Refs         map[string]int
+		Admitted     int
+		AdmittedCost float64
+	}
+	for _, sess := range m.Sessions() {
+		blob, err := json.Marshal(sess.Result.Embedding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc.Sessions = append(doc.Sessions, sessState{
+			ID: sess.ID, Emb: blob, Cost: sess.Result.FinalCost,
+			Degraded: sess.Degraded, Lost: sess.Lost, Uses: sess.uses,
+		})
+	}
+	doc.Refs = map[string]int{}
+	for k, v := range m.Refs() {
+		doc.Refs[string(rune(k[0]))+"/"+string(rune(k[1]))] = v
+	}
+	st := m.Stats()
+	doc.Admitted, doc.AdmittedCost = st.Admitted, st.AdmittedCost
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+func TestRestoreRoundTripFromRecordsOnly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openWAL(t, dir)
+	m := NewManager(lineNet(t, 2), core.Options{}).AttachWAL(l)
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0}}
+	s1, err := m.Admit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Admit(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	want := stateFingerprint(t, m)
+	l.Crash() // SIGKILL: no graceful close, no snapshot
+
+	m2, rep := mustRestore(t, dir, lineNet(t, 2))
+	if rep.SessionsRecovered != 1 || rep.ReplayedRecords != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if got := stateFingerprint(t, m2); got != want {
+		t.Fatalf("restored state diverged:\n got %s\nwant %s", got, want)
+	}
+	// The restored network carries the surviving instance.
+	if m2.LiveInstances() != 1 || rep.RefsDeployed != 1 {
+		t.Fatalf("instances=%d deployed=%d", m2.LiveInstances(), rep.RefsDeployed)
+	}
+}
+
+func TestRestoreFromSnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openWAL(t, dir)
+	m := NewManager(lineNet(t, 4), core.Options{}).AttachWAL(l)
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0}}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Admit(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := m.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if seq != 3 {
+		t.Fatalf("checkpoint folded seq %d, want 3", seq)
+	}
+	// Post-snapshot tail: one more admit, one release.
+	s4, err := m.Admit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(s4.ID); err != nil {
+		t.Fatal(err)
+	}
+	want := stateFingerprint(t, m)
+	st := m.Stats()
+	if st.Snapshots != 1 || st.WALRecords != 5 || st.LastSnapshotSeq != 3 {
+		t.Fatalf("durability stats: %+v", st)
+	}
+	l.Crash()
+
+	m2, rep := mustRestore(t, dir, lineNet(t, 4))
+	if rep.SnapshotSeq != 3 || rep.ReplayedRecords != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if got := stateFingerprint(t, m2); got != want {
+		t.Fatalf("restored state diverged:\n got %s\nwant %s", got, want)
+	}
+	// Accounting history survives compaction.
+	if st2 := m2.Stats(); st2.Admitted != 4 || st2.AdmittedCost != st.AdmittedCost {
+		t.Fatalf("restored stats: %+v want admitted=4 cost=%v", st2, st.AdmittedCost)
+	}
+}
+
+func TestMidCommitCrashKeepsDurableSession(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openWAL(t, dir)
+	m := NewManager(lineNet(t, 2), core.Options{}).AttachWAL(l)
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0}}
+
+	type crashSentinel struct{}
+	m.SetCrashHook(func(point string) {
+		if point == "admit:post-wal" {
+			l.Crash()
+			panic(crashSentinel{})
+		}
+	})
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("crash hook never fired")
+			} else if _, ok := r.(crashSentinel); !ok {
+				panic(r)
+			}
+		}()
+		m.Admit(task)
+	}()
+
+	// The record hit the fsynced log before the crash, so the session
+	// is committed: restore must surface it even though the in-memory
+	// manager never finished the commit.
+	m2, rep := mustRestore(t, dir, lineNet(t, 2))
+	if m2.Active() != 1 || rep.SessionsRecovered != 1 {
+		t.Fatalf("durable session lost: active=%d report=%+v", m2.Active(), rep)
+	}
+	if st := m2.Stats(); st.Admitted != 1 {
+		t.Fatalf("restored accounting: %+v", st)
+	}
+}
+
+func TestPreWALCrashCommitsNothing(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openWAL(t, dir)
+	m := NewManager(lineNet(t, 2), core.Options{}).AttachWAL(l)
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0}}
+	// Crash the log before the admission: the WAL append fails, so the
+	// commit must reject and leave no trace on either side.
+	l.Crash()
+	if _, err := m.Admit(task); err == nil {
+		t.Fatal("admission succeeded without durability")
+	}
+	if m.Active() != 0 || m.LiveInstances() != 0 {
+		t.Fatalf("rejected admission leaked state: active=%d instances=%d", m.Active(), m.LiveInstances())
+	}
+	m2, rep := mustRestore(t, dir, lineNet(t, 2))
+	if m2.Active() != 0 || rep.SessionsRecovered != 0 {
+		t.Fatalf("phantom session after pre-WAL crash: %+v", rep)
+	}
+}
+
+func TestRestoreReplaysRepairHistory(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openWAL(t, dir)
+	base := repairNet(t, 2)
+	m := NewManager(base, core.Options{}).AttachWAL(l)
+	task := nfv.Task{Source: 0, Destinations: []int{3, 4}, Chain: nfv.SFC{0}}
+	if _, err := m.Admit(task); err != nil {
+		t.Fatal(err)
+	}
+	// Cut 1-4: destination 4 reroutes over the expensive 0-4 edge via a
+	// patch repair, logged as rebase + repair records.
+	rep := rebaseAfter(t, m, base, faults.Event{Kind: faults.LinkDown, U: 1, V: 4})
+	if rep.Affected != 1 {
+		t.Fatalf("repair fixture: %+v", rep)
+	}
+	want := stateFingerprint(t, m)
+	l.Crash()
+
+	// Restore onto the same degraded topology, rebuilt fresh.
+	st := faults.NewState(repairNet(t, 2))
+	if err := st.Apply(faults.Event{Kind: faults.LinkDown, U: 1, V: 4}); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := st.Materialize(repairNet(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, rrep := mustRestore(t, dir, degraded)
+	if got := stateFingerprint(t, m2); got != want {
+		t.Fatalf("repaired state diverged:\n got %s\nwant %s", got, want)
+	}
+	// The restore's own repair pass found nothing left to fix.
+	if rrep.SessionsPatched != 0 || rrep.SessionsReembeded != 0 || rrep.SessionsDegraded != 0 {
+		t.Fatalf("restore re-repaired a clean state: %+v", rrep)
+	}
+}
+
+func TestRestoreOntoShrunkenTopologyDegrades(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openWAL(t, dir)
+	base := repairNet(t, 2)
+	m := NewManager(base, core.Options{}).AttachWAL(l)
+	task := nfv.Task{Source: 0, Destinations: []int{3, 4}, Chain: nfv.SFC{0}}
+	if _, err := m.Admit(task); err != nil {
+		t.Fatal(err)
+	}
+	l.Crash()
+
+	// Node 1 — the only server, hosting the session's instance — is
+	// gone in the restored topology. Restore must not fail: the
+	// reference is unplaceable and the session degrades through the
+	// ordinary ladder.
+	st := faults.NewState(repairNet(t, 2))
+	if err := st.Apply(faults.Event{Kind: faults.NodeDown, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := st.Materialize(repairNet(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openWAL(t, dir)
+	m2, rrep, err := Restore(degraded, l2, rec, core.Options{})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if len(rrep.Errors) != 0 {
+		t.Fatalf("cross-check errors on a degraded restore: %v", rrep.Errors)
+	}
+	if rrep.RefsUnplaceable != 1 || rrep.SessionsDegraded != 1 {
+		t.Fatalf("report: %+v", rrep)
+	}
+	sessions := m2.Sessions()
+	if len(sessions) != 1 || !sessions[0].Degraded {
+		t.Fatalf("session not degraded: %+v", sessions)
+	}
+	if err := m2.VerifyRefs(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainWaitsForInflight(t *testing.T) {
+	m := NewManager(lineNet(t, 2), core.Options{})
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+	// A blocked drain honors its deadline.
+	m.inflight.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.Drain(ctx); err == nil {
+		t.Fatal("drain ignored an expired context with inflight work")
+	}
+	m.inflight.Done()
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after quiesce: %v", err)
+	}
+}
+
+func TestCheckpointWithoutWAL(t *testing.T) {
+	m := NewManager(lineNet(t, 2), core.Options{})
+	if _, err := m.Checkpoint(); err != ErrNoWAL {
+		t.Fatalf("Checkpoint without WAL: %v", err)
+	}
+}

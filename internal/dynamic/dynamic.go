@@ -32,6 +32,7 @@ import (
 	"sftree/internal/mod"
 	"sftree/internal/nfv"
 	"sftree/internal/obs"
+	"sftree/internal/wal"
 )
 
 var (
@@ -107,6 +108,26 @@ type Manager struct {
 	// trace, when set, receives one obs.Trace per admission and repair
 	// solve (see Trace).
 	trace *obs.TraceBuffer
+
+	// wal, when attached, receives one lifecycle record per commit —
+	// appended inside the critical section, before the in-memory state
+	// mutates, so the durable history can never lag a committed
+	// operation (see AttachWAL, Checkpoint, Restore in durable.go).
+	wal *wal.Log
+	// crashHook, when set, fires at named crash points inside the
+	// commit critical sections (test-only; see SetCrashHook).
+	crashHook func(point string)
+	// inflight counts admissions and releases between entry and commit
+	// completion, so Drain can wait for a quiescent state before the
+	// shutdown snapshot.
+	inflight sync.WaitGroup
+
+	// Durability history: records appended, append failures, snapshots
+	// written, and the sequence the newest snapshot folded.
+	walRecords      int
+	walAppendErrors int
+	snapshots       int
+	lastSnapshotSeq uint64
 }
 
 // managerMetrics are the registry handles an instrumented manager
@@ -121,6 +142,9 @@ type managerMetrics struct {
 	serializedFallbacks            *obs.Counter
 	live, liveInstances, degraded  *obs.Gauge
 	solveMS, repairCostDelta       *obs.Histogram
+	// Durability counters (see AttachWAL / Checkpoint).
+	walRecords, walAppendErrors *obs.Counter
+	snapshots                   *obs.Counter
 }
 
 // NewManager wraps a network for dynamic session management. The
@@ -167,6 +191,9 @@ func (m *Manager) Instrument(reg *obs.Registry) *Manager {
 		degraded:            reg.Gauge("sessions_degraded"),
 		solveMS:             reg.Histogram("session_solve_ms", obs.LatencyBuckets),
 		repairCostDelta:     reg.Histogram("repair_cost_delta", nil),
+		walRecords:          reg.Counter("wal_records_total"),
+		walAppendErrors:     reg.Counter("wal_append_errors_total"),
+		snapshots:           reg.Counter("snapshots_written_total"),
 	}
 	return m
 }
@@ -252,6 +279,8 @@ func (m *Manager) Admit(task nfv.Task) (*Session, error) {
 // maxAdmitRetries times, then falls back to one serialized
 // solve-and-commit under the lock.
 func (m *Manager) AdmitCtx(ctx context.Context, task nfv.Task) (*Session, error) {
+	m.inflight.Add(1)
+	defer m.inflight.Done()
 	start := time.Now()
 	var (
 		res     *core.Result
@@ -508,9 +537,15 @@ func (m *Manager) admitSerialized(ctx context.Context, task nfv.Task) (*Session,
 
 // commitLocked installs a validated solver result: deploys the fresh
 // instances (rolling back on the impossible install failure), builds
-// the session, and reference-counts every dynamic instance its walks
-// traverse. The critical section allocates only the session object
-// itself — the dedup scratch comes from a pool. Callers hold m.mu.
+// the session, appends its admit record to the attached WAL, and only
+// then reference-counts every dynamic instance its walks traverse.
+// The WAL append sits between "the session is fully decided" and "the
+// in-memory state changes", so a crash on either side is clean:
+// before the append nothing was committed (the record is absent, the
+// deploys die with the process), after it the record replays the
+// exact state the commit was about to install. The critical section
+// allocates only the session object itself — the dedup scratch comes
+// from a pool. Callers hold m.mu.
 func (m *Manager) commitLocked(task nfv.Task, res *core.Result) (*Session, error) {
 	for _, inst := range res.Embedding.NewInstances {
 		if err := m.net.Deploy(inst.VNF, inst.Node); err != nil {
@@ -525,10 +560,11 @@ func (m *Manager) commitLocked(task nfv.Task, res *core.Result) (*Session, error
 		}
 	}
 	sess := &Session{ID: m.nextID, Task: task.CloneTask(), Result: res}
-	m.nextID++
 
-	// Reference every dynamic instance the session traverses: new ones
-	// plus previously installed ones it reuses.
+	// Collect every dynamic instance the session traverses — reused
+	// ones already in the ledger plus its fresh installs — without
+	// touching the counts yet: the usage list goes into the WAL record
+	// first, and only a durable record may mutate state.
 	seen := getKeySet()
 	for di := range task.Destinations {
 		for lvl := 1; lvl <= task.K(); lvl++ {
@@ -537,16 +573,33 @@ func (m *Manager) commitLocked(task nfv.Task, res *core.Result) (*Session, error
 				continue
 			}
 			if _, dynamicInst := m.refs[key]; dynamicInst {
-				m.refs[key]++
 				sess.uses = append(sess.uses, key)
 			}
 		}
 	}
 	putKeySet(seen)
 	for _, inst := range res.Embedding.NewInstances {
-		key := [2]int{inst.VNF, inst.Node}
-		m.refs[key]++ // first reference for a fresh instance
-		sess.uses = append(sess.uses, key)
+		sess.uses = append(sess.uses, [2]int{inst.VNF, inst.Node})
+	}
+
+	if err := m.appendAdmitLocked(sess); err != nil {
+		// Durability is part of the commit: an unloggable admission is
+		// rejected and its installs undone, keeping disk and memory in
+		// agreement (both without the session).
+		for _, inst := range res.Embedding.NewInstances {
+			_ = m.net.Undeploy(inst.VNF, inst.Node)
+		}
+		m.rejected++
+		if m.met != nil {
+			m.met.rejected.Inc()
+		}
+		return nil, fmt.Errorf("%w: wal append: %w", ErrRejected, err)
+	}
+	m.crashPoint("admit:post-wal")
+
+	m.nextID++
+	for _, key := range sess.uses {
+		m.refs[key]++
 	}
 	m.sessions[sess.ID] = sess
 	m.admitted++
@@ -569,14 +622,23 @@ func (m *Manager) rollback(insts []nfv.Instance, failed nfv.Instance) {
 }
 
 // Release tears a session down: every dynamic instance it referenced
-// is decremented and undeployed once no live session uses it.
+// is decremented and undeployed once no live session uses it. Like
+// admission, the release record hits the WAL before the in-memory
+// state changes, so a crash either loses the whole release (the
+// session survives restore) or none of it.
 func (m *Manager) Release(id SessionID) error {
+	m.inflight.Add(1)
+	defer m.inflight.Done()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sess, ok := m.sessions[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
+	if err := m.appendRecord(&wal.Record{Type: wal.RecRelease, Session: int64(id)}); err != nil {
+		return fmt.Errorf("dynamic: release %d: wal append: %w", id, err)
+	}
+	m.crashPoint("release:post-wal")
 	delete(m.sessions, id)
 	for _, key := range sess.uses {
 		if _, ok := m.refs[key]; !ok {
@@ -656,6 +718,11 @@ type Stats struct {
 	CommitConflicts     int `json:"commit_conflicts"`
 	AdmitRetries        int `json:"admit_retries"`
 	SerializedFallbacks int `json:"serialized_fallbacks"`
+	// Durability history; all zero without an attached WAL.
+	WALRecords      int    `json:"wal_records,omitempty"`
+	WALAppendErrors int    `json:"wal_append_errors,omitempty"`
+	Snapshots       int    `json:"snapshots,omitempty"`
+	LastSnapshotSeq uint64 `json:"last_snapshot_seq,omitempty"`
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -670,5 +737,9 @@ func (m *Manager) Stats() Stats {
 		CommitConflicts:     m.commitConflicts,
 		AdmitRetries:        m.admitRetries,
 		SerializedFallbacks: m.serializedFallbacks,
+		WALRecords:          m.walRecords,
+		WALAppendErrors:     m.walAppendErrors,
+		Snapshots:           m.snapshots,
+		LastSnapshotSeq:     m.lastSnapshotSeq,
 	}
 }

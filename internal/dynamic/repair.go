@@ -93,12 +93,18 @@ func (m *Manager) Rebase(newNet *nfv.Network) *RepairReport {
 
 	// Purge references to instances that died with the fault: they are
 	// gone from the new network, so there is nothing to undeploy.
+	var purged [][2]int
 	for key := range m.refs {
 		if !m.net.IsDeployed(key[0], key[1]) {
 			delete(m.refs, key)
+			purged = append(purged, key)
 			rep.PurgedInstances++
 		}
 	}
+	// Log the substrate swap before the repair records that depend on
+	// it: replay purges exactly these references, then trims usage
+	// lists the same way the live path below does.
+	m.appendRebaseLocked(purged)
 	ids := make([]SessionID, 0, len(m.sessions))
 	for id, sess := range m.sessions {
 		ids = append(ids, id)
@@ -117,6 +123,10 @@ func (m *Manager) Rebase(newNet *nfv.Network) *RepairReport {
 		if sr.Outcome == RepairIntact {
 			continue
 		}
+		// Durable record of the outcome: the session's post-repair
+		// embedding, usage list and degraded/lost marks, so replay lands
+		// on the repaired state without re-running the ladder.
+		m.appendRepairLocked(m.sessions[id], sr.Outcome)
 		rep.Affected++
 		switch sr.Outcome {
 		case RepairPatched:

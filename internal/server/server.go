@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"sftree/internal/baseline"
@@ -70,13 +71,23 @@ type Config struct {
 	// creates a private ring of obs.DefaultTraceCap traces (reachable
 	// via Server.Traces).
 	Traces *obs.TraceBuffer
+	// Manager, when set, backs the stateful session API instead of a
+	// freshly constructed one — the WAL-restore boot path builds the
+	// manager first (rehydrated from disk) and hands it over. The
+	// server instruments and traces it; net must be the manager's
+	// network.
+	Manager *dynamic.Manager
 }
 
 // Server is the HTTP facade. Create it with New or NewWith; it
 // implements http.Handler.
 type Server struct {
-	mux     *http.ServeMux
-	h       http.Handler // mux wrapped in the obs middleware
+	mux *http.ServeMux
+	h   http.Handler // mux wrapped in the obs middleware
+	// mgrMu guards mgr: the restart harness swaps in a freshly
+	// restored manager while requests are in flight (SetManager), so
+	// every handler takes one consistent reference per request.
+	mgrMu   sync.RWMutex
 	mgr     *dynamic.Manager
 	net     *nfv.Network
 	reg     *obs.Registry
@@ -109,7 +120,9 @@ func NewWith(net *nfv.Network, opts core.Options, cfg Config) *Server {
 	opts.Observer = obs.Tee(opts.Observer, cfg.Observer, obs.NewMetricsObserver(reg))
 	s := &Server{mux: http.NewServeMux(), net: net, reg: reg, traces: traces,
 		opts: opts, timeout: cfg.SolveTimeout}
-	if net != nil {
+	if cfg.Manager != nil {
+		s.mgr = cfg.Manager.Instrument(reg).Trace(traces)
+	} else if net != nil {
 		s.mgr = dynamic.NewManager(net, opts).Instrument(reg).Trace(traces)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -141,7 +154,22 @@ func (s *Server) Traces() *obs.TraceBuffer { return s.traces }
 // API, nil for stateless servers. In-process harnesses (cmd/sftload's
 // self-serve mode) use it to drive fault rebases against the same
 // network the HTTP admissions run on.
-func (s *Server) Manager() *dynamic.Manager { return s.mgr }
+func (s *Server) Manager() *dynamic.Manager {
+	s.mgrMu.RLock()
+	defer s.mgrMu.RUnlock()
+	return s.mgr
+}
+
+// SetManager swaps the session manager backing the stateful API — the
+// crash-restart harness kills the old manager's WAL and installs the
+// one Restore rehydrated from disk. In-flight requests finish against
+// the manager they already hold; new requests see the replacement.
+// The caller instruments the new manager before the swap.
+func (s *Server) SetManager(m *dynamic.Manager) {
+	s.mgrMu.Lock()
+	defer s.mgrMu.Unlock()
+	s.mgr = m
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -220,9 +248,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // stateful session API is backed by a network and how many sessions
 // are live. A stateless server is ready by construction.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	resp := map[string]any{"status": "ready", "sessions_api": s.mgr != nil}
-	if s.mgr != nil {
-		resp["active_sessions"] = s.mgr.Active()
+	mgr := s.Manager()
+	resp := map[string]any{"status": "ready", "sessions_api": mgr != nil}
+	if mgr != nil {
+		resp["active_sessions"] = mgr.Active()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -402,7 +431,8 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
-	if s.mgr == nil {
+	mgr := s.Manager()
+	if mgr == nil {
 		writeError(w, http.StatusNotImplemented, errors.New("server started without a network"))
 		return
 	}
@@ -427,7 +457,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveContext(r, timeoutMS)
 	defer cancel()
-	sess, err := s.mgr.AdmitCtx(ctx, task)
+	sess, err := mgr.AdmitCtx(ctx, task)
 	if err != nil {
 		status := http.StatusConflict
 		if errors.Is(err, nfv.ErrInvalidTask) {
@@ -444,15 +474,17 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionStats(w http.ResponseWriter, _ *http.Request) {
-	if s.mgr == nil {
+	mgr := s.Manager()
+	if mgr == nil {
 		writeError(w, http.StatusNotImplemented, errors.New("server started without a network"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.mgr.Stats())
+	writeJSON(w, http.StatusOK, mgr.Stats())
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
-	if s.mgr == nil {
+	mgr := s.Manager()
+	if mgr == nil {
 		writeError(w, http.StatusNotImplemented, errors.New("server started without a network"))
 		return
 	}
@@ -461,7 +493,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id: %w", err))
 		return
 	}
-	if err := s.mgr.Release(dynamic.SessionID(id)); err != nil {
+	if err := mgr.Release(dynamic.SessionID(id)); err != nil {
 		status := http.StatusNotFound
 		if !errors.Is(err, dynamic.ErrUnknownSession) {
 			status = http.StatusInternalServerError

@@ -5,7 +5,7 @@
 # observability smoke test. CI and pre-commit should both call this;
 # it exits non-zero on the first failure.
 #
-#   ./tools.sh          # vet + gofmt + race tests + chaos + conformance + bench + obs + load
+#   ./tools.sh          # vet + gofmt + race tests + chaos + recover + conformance + bench + obs + load
 #   ./tools.sh quick    # vet + gofmt only (skip the race run and smoke)
 #   ./tools.sh load     # load gate only: fixed-seed open-loop sftload
 #                       # run against an in-process sftserve, asserting
@@ -18,6 +18,13 @@
 #                       # assert /healthz /readyz /metrics respond
 #   ./tools.sh chaos    # resilience gate only: replay a seeded fault
 #                       # schedule, assert survivors re-validate
+#   ./tools.sh recover  # durability gate only: a seeded op script runs
+#                       # once untouched and once with SIGKILL-equivalent
+#                       # crashes (one inside the commit critical
+#                       # section), each followed by a WAL restore; fails
+#                       # on any lost committed session, oracle
+#                       # divergence or conformance violation. Also runs
+#                       # the crash-harness tests under -race.
 #   ./tools.sh conformance [seed]
 #                       # differential gate only: bounded stratified
 #                       # corpus under -race, cross-checking every
@@ -98,6 +105,22 @@ conformance_gate() {
 	echo "OK (conformance gate, seed $seed)"
 }
 
+# recover_gate is the crash-injection durability gate: the same seeded
+# script of admissions, releases and faults runs as a never-crashed
+# oracle and as a crash run with two restores from the write-ahead log
+# — one between operations, one mid-commit (between WAL append and
+# in-memory apply). The restored run must keep every committed
+# session, match the oracle bit-for-bit in sessions, refcounts and
+# accounting, and pass CheckLive/Recount. The race-enabled harness
+# tests cover the same path with the in-tree assertions.
+recover_gate() {
+	echo "==> recover gate: sftchaos -crash 2 -nodes 30 -sessions 12 -ops 30 -faults 5 -seed 7"
+	go run ./cmd/sftchaos -crash 2 -nodes 30 -sessions 12 -ops 30 -faults 5 -seed 7
+	echo "==> recover gate: crash-harness tests (race)"
+	go test -race -count=1 -run 'TestRunCrash' ./internal/sim
+	echo "OK (recover gate)"
+}
+
 # load_gate drives the open-loop load harness for a short fixed-seed
 # window with one fault flap and the -check assertions on: sessions
 # must be admitted, no measurement may be dropped at an unsaturated
@@ -152,6 +175,11 @@ if [ "${1:-}" = "chaos" ]; then
 	exit 0
 fi
 
+if [ "${1:-}" = "recover" ]; then
+	recover_gate
+	exit 0
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -172,6 +200,8 @@ echo "==> go test -race -timeout 10m ./..."
 go test -race -timeout 10m ./...
 
 chaos_gate
+
+recover_gate
 
 conformance_gate "${CONFORM_SEED:-1}"
 
