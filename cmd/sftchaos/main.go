@@ -120,26 +120,39 @@ func run(args []string, w io.Writer) error {
 }
 
 // runCrashGate executes the oracle-vs-crash comparison. Crash points
-// are spread evenly across the op script; the final one fires inside
-// the commit critical section (between WAL append and in-memory
-// apply), the window a kill between operations can never hit.
+// are spread evenly across the op script; odd-numbered ones tear the
+// log (a partial frame at the active tail, the signature of a SIGKILL
+// mid-append) so recovery's torn-tail path runs, and the final one
+// fires inside the commit critical section (between WAL append and
+// in-memory apply), the window a kill between operations can never
+// hit. With two or more points, the first torn crash is immediately
+// re-crashed on the next op — the double-crash window where a tear
+// surviving the first recovery on disk would brick the log.
 func runCrashGate(w io.Writer, nodes, sessions, ops, nfaults, crashes int, seed int64, walDir string) error {
 	total := sessions + ops
 	var points []sim.CrashPoint
 	for i := 1; i <= crashes; i++ {
-		points = append(points, sim.CrashPoint{Op: i * total / (crashes + 1)})
+		points = append(points, sim.CrashPoint{Op: i * total / (crashes + 1), Torn: i%2 == 1})
 	}
 	if len(points) > 0 {
 		points[len(points)-1].MidCommit = true
 	}
+	if crashes >= 2 {
+		recrash := sim.CrashPoint{Op: points[0].Op + 1}
+		points = append(points[:1], append([]sim.CrashPoint{recrash}, points[1:]...)...)
+	}
 	rep, err := sim.RunCrash(sim.CrashConfig{
-		Nodes:           nodes,
-		Seed:            seed,
-		Sessions:        sessions,
-		Ops:             ops,
-		Faults:          nfaults,
-		Crashes:         points,
-		CheckpointEvery: total / 3,
+		Nodes:    nodes,
+		Seed:     seed,
+		Sessions: sessions,
+		Ops:      ops,
+		Faults:   nfaults,
+		Crashes:  points,
+		// One past the crash spacing, so a checkpoint never lands
+		// between a torn crash and its immediate re-crash — the second
+		// recovery must replay the truncated segment, not sidestep it
+		// via a fresh snapshot.
+		CheckpointEvery: total/3 + 1,
 		Dir:             walDir,
 	})
 	if err != nil {

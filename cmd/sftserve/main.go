@@ -179,20 +179,37 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	// Periodic compaction: fold the WAL into a snapshot so restart
-	// replay stays bounded by -snapshot-interval worth of records.
-	if walLog != nil && *snapEvery > 0 {
+	// replay stays bounded by -snapshot-interval worth of records. A
+	// swallowed repair/rebase append failure marks the manager
+	// checkpoint-dirty; the fast poll folds a snapshot immediately so
+	// durable history does not trail the live state for a full
+	// interval (or forever, with periodic snapshots disabled).
+	if walLog != nil {
 		go func() {
-			tick := time.NewTicker(*snapEvery)
-			defer tick.Stop()
+			checkpoint := func(reason string) {
+				if seq, err := srv.Manager().Checkpoint(); err != nil {
+					logger.Error("snapshot failed", "reason", reason, "err", err)
+				} else {
+					logger.Info("snapshot written", "reason", reason, "seq", seq)
+				}
+			}
+			dirty := time.NewTicker(time.Second)
+			defer dirty.Stop()
+			var interval <-chan time.Time
+			if *snapEvery > 0 {
+				tick := time.NewTicker(*snapEvery)
+				defer tick.Stop()
+				interval = tick.C
+			}
 			for {
 				select {
 				case <-ctx.Done():
 					return
-				case <-tick.C:
-					if seq, err := srv.Manager().Checkpoint(); err != nil {
-						logger.Error("snapshot failed", "err", err)
-					} else {
-						logger.Info("snapshot written", "seq", seq)
+				case <-interval:
+					checkpoint("interval")
+				case <-dirty.C:
+					if srv.Manager().NeedsCheckpoint() {
+						checkpoint("wal divergence")
 					}
 				}
 			}

@@ -105,10 +105,12 @@ func (m *Manager) appendAdmitLocked(sess *Session) error {
 
 // appendRepairLocked logs one session's post-repair state; callers
 // hold m.mu. Append failures are counted but do not abort the repair:
-// the in-memory state is already the source of truth mid-Rebase, and
-// the next snapshot re-captures it.
+// the in-memory state is already the source of truth mid-Rebase. They
+// DO mark the manager checkpoint-dirty — until a snapshot re-captures
+// the live state, a crash would restore stale pre-repair sessions, so
+// the serving loop must fold one immediately, not on the interval.
 func (m *Manager) appendRepairLocked(sess *Session, outcome RepairOutcome) {
-	_ = m.appendRecord(&wal.Record{
+	err := m.appendRecord(&wal.Record{
 		Type:      wal.RecRepair,
 		Session:   int64(sess.ID),
 		Embedding: sess.Result.Embedding,
@@ -118,18 +120,47 @@ func (m *Manager) appendRepairLocked(sess *Session, outcome RepairOutcome) {
 		Lost:      append([]int(nil), sess.Lost...),
 		Outcome:   string(outcome),
 	})
+	if err != nil {
+		m.markCheckpointDirtyLocked()
+	}
 }
 
 // appendRebaseLocked logs a substrate swap and its purged instance
-// references; callers hold m.mu.
+// references; callers hold m.mu. Like repairs, a failed append leaves
+// the durable history behind the live state and marks the manager
+// checkpoint-dirty.
 func (m *Manager) appendRebaseLocked(purged [][2]int) {
 	sortKeys(purged)
-	_ = m.appendRecord(&wal.Record{
+	err := m.appendRecord(&wal.Record{
 		Type:   wal.RecRebase,
 		Purged: purged,
 		Gen:    m.net.Graph().Generation(),
 		Epoch:  m.net.DeployEpoch(),
 	})
+	if err != nil {
+		m.markCheckpointDirtyLocked()
+	}
+}
+
+// markCheckpointDirtyLocked records that durable history and live
+// state have diverged (a repair/rebase record failed to append) and
+// only a snapshot can resync them; callers hold m.mu.
+func (m *Manager) markCheckpointDirtyLocked() {
+	m.checkpointDirty = true
+	if m.met != nil {
+		m.met.walDirty.Set(1)
+	}
+}
+
+// NeedsCheckpoint reports that a WAL append failure left the durable
+// history behind the live state. The serving loop polls it and calls
+// Checkpoint immediately instead of waiting out the snapshot
+// interval, shrinking the window in which a crash restores stale
+// pre-repair state.
+func (m *Manager) NeedsCheckpoint() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpointDirty
 }
 
 // sortKeys orders (vnf, node) pairs lexicographically, making records
@@ -215,8 +246,12 @@ func (m *Manager) Checkpoint() (uint64, error) {
 	}
 	m.snapshots++
 	m.lastSnapshotSeq = snap.Seq
+	// The snapshot captured the live state, so any divergence from
+	// earlier swallowed repair/rebase append failures is healed.
+	m.checkpointDirty = false
 	if m.met != nil {
 		m.met.snapshots.Inc()
+		m.met.walDirty.Set(0)
 	}
 	return snap.Seq, nil
 }

@@ -128,6 +128,10 @@ type Manager struct {
 	walAppendErrors int
 	snapshots       int
 	lastSnapshotSeq uint64
+	// checkpointDirty marks a swallowed repair/rebase append failure:
+	// the durable history trails the live state until the next
+	// snapshot (see NeedsCheckpoint).
+	checkpointDirty bool
 }
 
 // managerMetrics are the registry handles an instrumented manager
@@ -145,6 +149,7 @@ type managerMetrics struct {
 	// Durability counters (see AttachWAL / Checkpoint).
 	walRecords, walAppendErrors *obs.Counter
 	snapshots                   *obs.Counter
+	walDirty                    *obs.Gauge
 }
 
 // NewManager wraps a network for dynamic session management. The
@@ -194,6 +199,7 @@ func (m *Manager) Instrument(reg *obs.Registry) *Manager {
 		walRecords:          reg.Counter("wal_records_total"),
 		walAppendErrors:     reg.Counter("wal_append_errors_total"),
 		snapshots:           reg.Counter("snapshots_written_total"),
+		walDirty:            reg.Gauge("wal_checkpoint_dirty"),
 	}
 	return m
 }
@@ -723,6 +729,9 @@ type Stats struct {
 	WALAppendErrors int    `json:"wal_append_errors,omitempty"`
 	Snapshots       int    `json:"snapshots,omitempty"`
 	LastSnapshotSeq uint64 `json:"last_snapshot_seq,omitempty"`
+	// CheckpointDirty reports a swallowed repair/rebase append failure
+	// not yet healed by a snapshot (see NeedsCheckpoint).
+	CheckpointDirty bool `json:"checkpoint_dirty,omitempty"`
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -741,5 +750,6 @@ func (m *Manager) Stats() Stats {
 		WALAppendErrors:     m.walAppendErrors,
 		Snapshots:           m.snapshots,
 		LastSnapshotSeq:     m.lastSnapshotSeq,
+		CheckpointDirty:     m.checkpointDirty,
 	}
 }

@@ -246,12 +246,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // handleReady reports readiness, distinct from liveness: whether the
 // stateful session API is backed by a network and how many sessions
-// are live. A stateless server is ready by construction.
+// are live. A stateless server is ready by construction. Durability
+// trouble — WAL append failures, or a divergence a snapshot has not
+// yet healed — degrades the reported status (still HTTP 200: the
+// instance keeps serving, but operators and probes see it).
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	mgr := s.Manager()
 	resp := map[string]any{"status": "ready", "sessions_api": mgr != nil}
 	if mgr != nil {
 		resp["active_sessions"] = mgr.Active()
+		if st := mgr.Stats(); st.WALAppendErrors > 0 || st.CheckpointDirty {
+			resp["status"] = "degraded"
+			resp["wal_append_errors"] = st.WALAppendErrors
+			resp["wal_checkpoint_dirty"] = st.CheckpointDirty
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -35,6 +35,11 @@ type CrashPoint struct {
 	// the crash degrades to a post-op kill.)
 	Op        int  `json:"op"`
 	MidCommit bool `json:"mid_commit"`
+	// Torn makes the crash tear the log: a partial frame is left at
+	// the tail of the active segment (a SIGKILL mid-append), so the
+	// restore must run the torn-tail recovery path — tolerate the
+	// tear, truncate it from disk, lose nothing committed before it.
+	Torn bool `json:"torn,omitempty"`
 }
 
 // CrashConfig parameterizes one crash-injection run. Everything is
@@ -262,8 +267,17 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 		mgr: dynamic.NewManager(baseCrash, core.Options{}).AttachWAL(log),
 		st:  faults.NewState(baseCrash),
 	}
-	restore := func(op int, mid bool) error {
-		log.Crash()
+	// kill simulates the SIGKILL; both variants are idempotent, so
+	// restore can call it again after a mid-commit hook already fired.
+	kill := func(cp CrashPoint) {
+		if cp.Torn {
+			log.CrashTorn()
+		} else {
+			log.Crash()
+		}
+	}
+	restore := func(op int, cp CrashPoint) error {
+		kill(cp)
 		base2, err := regenBase(cfg)
 		if err != nil {
 			return err
@@ -287,11 +301,17 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 			return fmt.Errorf("crash: restore at op %d: %w", op, err)
 		}
 		rep.Restores = append(rep.Restores, RestoreStat{
-			Op: op, MidCommit: mid,
+			Op: op, MidCommit: cp.MidCommit,
 			SnapshotSeq: rr.SnapshotSeq, ReplayedRecords: rr.ReplayedRecords,
 			TornTail: rr.TornTail, Recovered: rr.SessionsRecovered,
 			ReplayNs: rr.ReplayDuration.Nanoseconds(),
 		})
+		if cp.Torn && !rr.TornTail {
+			// The injection claims a torn write happened; a restore that
+			// never saw it means the harness did not exercise the path.
+			rep.Mismatches = append(rep.Mismatches,
+				fmt.Sprintf("torn crash at op %d did not surface a torn tail", op))
+		}
 		rep.ValidationErrors = append(rep.ValidationErrors, rr.Errors...)
 		log = l2
 		run.mgr, run.st = m2, st2
@@ -305,7 +325,7 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 	for i, op := range ops {
 		cp, crashHere := crashAt[i]
 		if crashHere && !cp.MidCommit {
-			if err := restore(i, false); err != nil {
+			if err := restore(i, cp); err != nil {
 				return nil, err
 			}
 		}
@@ -314,7 +334,7 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 			run.mgr.SetCrashHook(func(point string) {
 				if point == "admit:post-wal" {
 					fired = true
-					log.Crash()
+					kill(cp)
 					panic(crashSentinel{})
 				}
 			})
@@ -335,9 +355,9 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 				// The op never reached a commit (release/fault/rejected
 				// admit): degrade to a post-op kill. State-changing ops
 				// already logged their records, so nothing is lost.
-				log.Crash()
+				kill(cp)
 			}
-			if err := restore(i, true); err != nil {
+			if err := restore(i, cp); err != nil {
 				return nil, err
 			}
 			continue

@@ -18,9 +18,11 @@
 // with the payload a JSON document. Recovery loads the newest valid
 // snapshot, then replays every record with a higher sequence number
 // from the segments, in order. A torn final record (the crash left a
-// partial frame at the tail of the active segment) is tolerated and
-// reported; corruption anywhere else is a typed ErrCorrupt — never a
-// panic, never silently wrong state.
+// partial frame at the tail of the active segment) is tolerated,
+// reported, and truncated from disk — so the tear cannot sit in a
+// non-final segment after the next rotation, where replay would have
+// to treat it as corruption. Corruption anywhere else is a typed
+// ErrCorrupt — never a panic, never silently wrong state.
 //
 // Sync discipline is configurable: SyncAlways fsyncs after every
 // append (a committed admission survives SIGKILL the moment the
@@ -254,6 +256,7 @@ type Log struct {
 
 	stopSync chan struct{} // interval-sync goroutine shutdown
 	syncDone chan struct{}
+	stopOnce sync.Once
 }
 
 // Open opens (creating if necessary) the log directory, recovers the
@@ -298,7 +301,9 @@ func (l *Log) syncLoop() {
 		case <-t.C:
 			l.mu.Lock()
 			if !l.closed && l.dirty {
-				if l.f.Sync() == nil {
+				if err := l.f.Sync(); err != nil {
+					l.poisonLocked()
+				} else {
 					l.dirty = false
 					l.stats.Syncs++
 				}
@@ -371,12 +376,18 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	}
 	l.buf = frame(l.buf[:0], payload)
 	if _, err := l.f.Write(l.buf); err != nil {
-		return 0, fmt.Errorf("wal: append: %w", err)
+		// A short write (ENOSPC, dead disk) may have left a partial
+		// frame in the active segment. Accepting further appends would
+		// stack acked records behind the tear, and replay — which stops
+		// at the first torn frame — would silently discard them all.
+		l.poisonLocked()
+		return 0, fmt.Errorf("wal: append: %w (log poisoned)", err)
 	}
 	l.dirty = true
 	if l.cfg.Policy == SyncAlways {
 		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: fsync: %w", err)
+			l.poisonLocked()
+			return 0, fmt.Errorf("wal: fsync: %w (log poisoned)", err)
 		}
 		l.dirty = false
 		l.stats.Syncs++
@@ -394,11 +405,24 @@ func (l *Log) Sync() error {
 		return ErrClosed
 	}
 	if err := l.f.Sync(); err != nil {
+		l.poisonLocked()
 		return err
 	}
 	l.dirty = false
 	l.stats.Syncs++
 	return nil
+}
+
+// poisonLocked marks the log permanently failed after a write or
+// fsync error of unknown extent: the on-disk tail may hold a partial
+// frame, and after a failed fsync the kernel may have dropped dirty
+// pages while clearing the error, so a later "successful" fsync would
+// lie. Every subsequent Append/Sync fails with ErrClosed — disk and
+// memory part ways loudly, never silently. Callers hold l.mu; an
+// interval-sync goroutine, if any, is reaped by the next Close/Crash.
+func (l *Log) poisonLocked() {
+	l.closed = true
+	l.f.Close()
 }
 
 // LastSeq returns the sequence number of the most recently appended
@@ -448,7 +472,8 @@ func (l *Log) WriteSnapshot(s *Snapshot) error {
 	// every record up to Seq, so those records must not be lost to a
 	// crash that survives the rename below.
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync before snapshot: %w", err)
+		l.poisonLocked()
+		return fmt.Errorf("wal: fsync before snapshot: %w (log poisoned)", err)
 	}
 	l.dirty = false
 	l.stats.Syncs++
@@ -524,23 +549,32 @@ func (l *Log) pruneLocked(snapSeq uint64) {
 	}
 }
 
+// stopSyncLoop reaps the interval-sync goroutine, exactly once, even
+// when the log was already closed by a poison or an earlier
+// Close/Crash. Callers must not hold l.mu (the loop takes it).
+func (l *Log) stopSyncLoop() {
+	if l.stopSync == nil {
+		return
+	}
+	l.stopOnce.Do(func() {
+		close(l.stopSync)
+		<-l.syncDone
+	})
+}
+
 // Close flushes, fsyncs and closes the log.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return nil
-	}
-	l.closed = true
-	err := l.f.Sync()
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
+	var err error
+	if !l.closed {
+		l.closed = true
+		err = l.f.Sync()
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
 	}
 	l.mu.Unlock()
-	if l.stopSync != nil {
-		close(l.stopSync)
-		<-l.syncDone
-	}
+	l.stopSyncLoop()
 	return err
 }
 
@@ -555,10 +589,29 @@ func (l *Log) Crash() {
 		l.f.Close()
 	}
 	l.mu.Unlock()
-	if l.stopSync != nil {
-		close(l.stopSync)
-		<-l.syncDone
+	l.stopSyncLoop()
+}
+
+// CrashTorn simulates a SIGKILL that caught an append mid-write: a
+// partial frame — a header promising more payload bytes than actually
+// follow — is left at the tail of the active segment, then the
+// descriptor is closed without fsync and every later Append fails
+// with ErrClosed. The torn record was never acked to any caller, so
+// recovery must discard the tear (and truncate it from disk) without
+// losing anything committed before it. The crash-injection harness
+// uses it to exercise torn-write recovery end-to-end, including
+// repeated crash/restart cycles.
+func (l *Log) CrashTorn() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		payload, _ := json.Marshal(&Record{Seq: l.nextSeq, Type: "torn-by-crash-injection"})
+		l.buf = frame(l.buf[:0], payload)
+		l.f.Write(l.buf[:len(l.buf)-len(payload)/2]) // best-effort: the fd dies either way
+		l.f.Close()
 	}
+	l.mu.Unlock()
+	l.stopSyncLoop()
 }
 
 // syncDir fsyncs a directory so renames and creates within it are
@@ -640,7 +693,8 @@ func recoverDir(dir string) (*Recovery, uint64, error) {
 			continue
 		}
 		last := i == len(segs)-1
-		torn, err := replaySegment(filepath.Join(dir, seg.name), last, func(r *Record) error {
+		path := filepath.Join(dir, seg.name)
+		valid, torn, err := replaySegment(path, last, func(r *Record) error {
 			if haveSnap && r.Seq <= snapSeq {
 				return nil // already folded into the snapshot
 			}
@@ -657,9 +711,32 @@ func recoverDir(dir string) (*Recovery, uint64, error) {
 		rec.Segments++
 		if torn {
 			rec.TornTail = true
+			// Remove the tolerated tear from disk, durably. Without this
+			// the partial frame would sit in a non-final segment once
+			// Open rotates to a fresh one, and the NEXT recovery (before
+			// a snapshot folds this segment away) would have to treat it
+			// as ErrCorrupt — refusing to start with all committed
+			// records stranded behind it.
+			if terr := truncateTail(path, int64(valid)); terr != nil {
+				return nil, 0, fmt.Errorf("wal: truncate torn tail of %s: %w", seg.name, terr)
+			}
 		}
 	}
 	return rec, nextSeq, nil
+}
+
+// truncateTail cuts a segment back to its last valid frame boundary
+// and makes the cut durable.
+func truncateTail(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // loadSnapshot reads and validates one framed snapshot document.
@@ -719,50 +796,59 @@ func readFrame(b []byte) (payload, rest []byte, err error) {
 // for everything a torn write cannot explain. The fuzz target drives
 // it directly.
 func ReplayBytes(b []byte, lastSegment bool, fn func(*Record) error) (torn bool, err error) {
+	_, torn, err = replayBytes(b, lastSegment, fn)
+	return torn, err
+}
+
+// replayBytes is ReplayBytes plus the length of the valid prefix in
+// bytes — the boundary recovery truncates a torn last segment back to.
+func replayBytes(b []byte, lastSegment bool, fn func(*Record) error) (validLen int, torn bool, err error) {
+	total := len(b)
 	var prevSeq uint64
 	var havePrev bool
 	for len(b) > 0 {
+		valid := total - len(b)
 		payload, rest, err := readFrame(b)
 		if err != nil {
 			if errors.Is(err, errTorn) {
 				if lastSegment {
-					return true, nil // crash mid-append: discard the tail
+					return valid, true, nil // crash mid-append: discard the tail
 				}
-				return false, fmt.Errorf("%w: torn frame in non-final segment", ErrCorrupt)
+				return valid, false, fmt.Errorf("%w: torn frame in non-final segment", ErrCorrupt)
 			}
 			if lastSegment && errors.Is(err, ErrCorrupt) {
 				// A corrupt length at the tail of the active segment is a
 				// torn write too (the length bytes never fully landed).
-				return true, nil
+				return valid, true, nil
 			}
-			return false, err
+			return valid, false, err
 		}
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			// The checksum matched but the payload is not a record: the
 			// writer never produces this, so it is corruption, not a tear.
-			return false, fmt.Errorf("%w: undecodable payload: %v", ErrCorrupt, err)
+			return valid, false, fmt.Errorf("%w: undecodable payload: %v", ErrCorrupt, err)
 		}
 		if havePrev && rec.Seq != prevSeq+1 {
-			return false, fmt.Errorf("%w: sequence gap: %d after %d", ErrCorrupt, rec.Seq, prevSeq)
+			return valid, false, fmt.Errorf("%w: sequence gap: %d after %d", ErrCorrupt, rec.Seq, prevSeq)
 		}
 		prevSeq, havePrev = rec.Seq, true
 		if err := fn(&rec); err != nil {
-			return false, err
+			return valid, false, err
 		}
 		b = rest
 	}
-	return false, nil
+	return total, false, nil
 }
 
-// replaySegment streams one segment file through ReplayBytes.
-func replaySegment(path string, lastSegment bool, fn func(*Record) error) (torn bool, err error) {
+// replaySegment streams one segment file through replayBytes.
+func replaySegment(path string, lastSegment bool, fn func(*Record) error) (validLen int, torn bool, err error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return false, nil
+			return 0, false, nil
 		}
-		return false, err
+		return 0, false, err
 	}
-	return ReplayBytes(blob, lastSegment, fn)
+	return replayBytes(blob, lastSegment, fn)
 }

@@ -275,6 +275,91 @@ func TestCrashLosesNothingUnderSyncAlways(t *testing.T) {
 	}
 }
 
+func TestTornTailTruncatedBeforeSecondCrash(t *testing.T) {
+	// The double-crash scenario: crash mid-append (partial frame at the
+	// tail), restart (tolerated tear), append one record, crash again,
+	// restart. Recovery must truncate the tear from disk during the
+	// first restart — otherwise the partial frame sits in a non-final
+	// segment by the second restart and replay refuses to start,
+	// stranding every committed record.
+	dir := t.TempDir()
+	l, _ := openFresh(t, dir, Config{})
+	for i := int64(0); i < 3; i++ {
+		if _, err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.CrashTorn()
+
+	l2, rec := openFresh(t, dir, Config{})
+	if !rec.TornTail {
+		t.Fatal("first restart did not report the torn tail")
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("first restart recovered %d records, want 3", len(rec.Records))
+	}
+	if _, err := l2.Append(testRecord(3)); err != nil {
+		t.Fatalf("append after torn restart: %v", err)
+	}
+	l2.Crash()
+
+	l3, rec3 := openFresh(t, dir, Config{})
+	defer l3.Close()
+	if rec3.TornTail {
+		t.Fatal("truncated tear resurfaced on the second restart")
+	}
+	if len(rec3.Records) != 4 {
+		t.Fatalf("second restart recovered %d records, want 4", len(rec3.Records))
+	}
+}
+
+func TestRepeatedTornCrashCycles(t *testing.T) {
+	// Every cycle appends one durable record and tears the tail; each
+	// recovery must replay everything committed so far, every time.
+	dir := t.TempDir()
+	for cycle := 0; cycle < 4; cycle++ {
+		l, rec := openFresh(t, dir, Config{})
+		if len(rec.Records) != cycle {
+			t.Fatalf("cycle %d: recovered %d records, want %d", cycle, len(rec.Records), cycle)
+		}
+		if cycle > 0 && !rec.TornTail {
+			t.Fatalf("cycle %d: torn tail not reported", cycle)
+		}
+		if _, err := l.Append(testRecord(int64(cycle))); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		l.CrashTorn()
+	}
+}
+
+func TestAppendErrorPoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openFresh(t, dir, Config{})
+	if _, err := l.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the descriptor so the next write fails the way a full
+	// or dying disk would.
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+	if _, err := l.Append(testRecord(1)); err == nil || errors.Is(err, ErrClosed) {
+		t.Fatalf("append on a dead descriptor: err=%v, want a write error", err)
+	}
+	// The log must now be poisoned: a partial frame may sit at the
+	// tail, and stacking acked records behind it would let replay
+	// silently discard them.
+	if _, err := l.Append(testRecord(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after write error: err=%v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after write error: err=%v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close after poison: %v", err)
+	}
+}
+
 func TestParseSyncPolicy(t *testing.T) {
 	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "none": SyncNone} {
 		got, err := ParseSyncPolicy(s)

@@ -107,12 +107,15 @@ conformance_gate() {
 
 # recover_gate is the crash-injection durability gate: the same seeded
 # script of admissions, releases and faults runs as a never-crashed
-# oracle and as a crash run with two restores from the write-ahead log
-# — one between operations, one mid-commit (between WAL append and
-# in-memory apply). The restored run must keep every committed
-# session, match the oracle bit-for-bit in sessions, refcounts and
-# accounting, and pass CheckLive/Recount. The race-enabled harness
-# tests cover the same path with the in-tree assertions.
+# oracle and as a crash run with restores from the write-ahead log —
+# a torn crash (partial frame at the active tail) immediately
+# re-crashed on the next op (the double-crash window: the tear must
+# not survive the first recovery on disk), plus one mid-commit
+# (between WAL append and in-memory apply). The restored run must
+# keep every committed session, match the oracle bit-for-bit in
+# sessions, refcounts and accounting, and pass CheckLive/Recount. The
+# race-enabled harness tests cover the same paths with the in-tree
+# assertions.
 recover_gate() {
 	echo "==> recover gate: sftchaos -crash 2 -nodes 30 -sessions 12 -ops 30 -faults 5 -seed 7"
 	go run ./cmd/sftchaos -crash 2 -nodes 30 -sessions 12 -ops 30 -faults 5 -seed 7
