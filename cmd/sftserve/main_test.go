@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -89,6 +92,80 @@ func stopServer(t *testing.T, cancel context.CancelFunc, done chan error) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("shutdown did not complete")
+	}
+}
+
+// TestShutdownOrdering is the regression test for the graceful-stop
+// sequence: hs.Shutdown → queue drain → Manager.Drain → snapshot →
+// WAL close. A reorder here can lose committed state (closing the log
+// before the final snapshot) or strand queued tickets (draining the
+// manager while the queue still dispatches into it).
+func TestShutdownOrdering(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	record := func(got *[]string, name string) func(context.Context) error {
+		return func(context.Context) error {
+			*got = append(*got, name)
+			return nil
+		}
+	}
+
+	var got []string
+	steps := shutdownSteps{
+		httpShutdown: record(&got, "http"),
+		queueDrain:   record(&got, "queue"),
+		mgrDrain:     record(&got, "mgr"),
+		checkpoint: func() (uint64, error) {
+			got = append(got, "snapshot")
+			return 1, nil
+		},
+		closeWAL: func() error {
+			got = append(got, "close")
+			return nil
+		},
+	}
+	if err := runShutdown(context.Background(), steps, logger); err != nil {
+		t.Fatalf("runShutdown: %v", err)
+	}
+	want := []string{"http", "queue", "mgr", "snapshot", "close"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shutdown order = %v, want %v", got, want)
+	}
+
+	// Nil steps (feature off) are skipped without reordering the rest.
+	got = nil
+	steps.queueDrain = nil
+	steps.checkpoint = nil
+	if err := runShutdown(context.Background(), steps, logger); err != nil {
+		t.Fatalf("runShutdown with nil steps: %v", err)
+	}
+	if want := []string{"http", "mgr", "close"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("shutdown order with nil steps = %v, want %v", got, want)
+	}
+
+	// The HTTP shutdown error decides the exit status, but every later
+	// step still runs — a stuck listener must not cost the final
+	// snapshot.
+	got = nil
+	sentinel := errors.New("listener stuck")
+	steps = shutdownSteps{
+		httpShutdown: func(context.Context) error {
+			got = append(got, "http")
+			return sentinel
+		},
+		queueDrain: func(context.Context) error {
+			got = append(got, "queue")
+			return errors.New("queue stuck too")
+		},
+		closeWAL: func() error {
+			got = append(got, "close")
+			return nil
+		},
+	}
+	if err := runShutdown(context.Background(), steps, logger); !errors.Is(err, sentinel) {
+		t.Fatalf("runShutdown error = %v, want the http shutdown error", err)
+	}
+	if want := []string{"http", "queue", "close"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("shutdown order after errors = %v, want %v", got, want)
 	}
 }
 

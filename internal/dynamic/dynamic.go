@@ -102,6 +102,9 @@ type Manager struct {
 	commitConflicts     int
 	admitRetries        int
 	serializedFallbacks int
+	// coalescedSolves counts batch admissions that committed off a
+	// reused snapshot (see AdmitBatch).
+	coalescedSolves int
 
 	// met holds the optional registry handles (see Instrument).
 	met *managerMetrics
@@ -144,6 +147,7 @@ type managerMetrics struct {
 	commitConflicts                *obs.Counter
 	admitRetries                   *obs.Counter
 	serializedFallbacks            *obs.Counter
+	coalescedSolves                *obs.Counter
 	live, liveInstances, degraded  *obs.Gauge
 	solveMS, repairCostDelta       *obs.Histogram
 	// Durability counters (see AttachWAL / Checkpoint).
@@ -191,6 +195,7 @@ func (m *Manager) Instrument(reg *obs.Registry) *Manager {
 		commitConflicts:     reg.Counter("admit_commit_conflicts_total"),
 		admitRetries:        reg.Counter("admit_retries_total"),
 		serializedFallbacks: reg.Counter("admit_serialized_fallbacks_total"),
+		coalescedSolves:     reg.Counter("admit_coalesced_solves_total"),
 		live:                reg.Gauge("sessions_live"),
 		liveInstances:       reg.Gauge("instances_live"),
 		degraded:            reg.Gauge("sessions_degraded"),
@@ -288,61 +293,100 @@ func (m *Manager) AdmitCtx(ctx context.Context, task nfv.Task) (*Session, error)
 	m.inflight.Add(1)
 	defer m.inflight.Done()
 	start := time.Now()
-	var (
-		res     *core.Result
-		err     error
-		sess    *Session
-		rec     *obs.SpanRecorder
-		par     int
-		tracing *obs.TraceBuffer
-		retries int
-	)
+	out := m.admitLoop(ctx, task, nil)
+	m.finishAdmit(out.tracing, out.rec, ctx, out.par, out.retries, out.sess, out.res, out.err, start)
+	if out.err != nil {
+		return nil, out.err
+	}
+	return out.sess, nil
+}
+
+// admitOutcome bundles one admission's final result plus the telemetry
+// finishAdmit reports and the snapshot-reuse state AdmitBatch threads
+// from task to task.
+type admitOutcome struct {
+	sess    *Session
+	res     *core.Result
+	err     error
+	rec     *obs.SpanRecorder
+	par     int
+	retries int
+	tracing *obs.TraceBuffer
+	// coalesced marks an admission whose committed attempt solved
+	// against a snapshot inherited from an earlier batch task instead
+	// of a fresh clone.
+	coalesced bool
+	// snap is the snapshot behind the final optimistic attempt;
+	// snapValid marks it reusable (the attempt committed without
+	// falling back to the serialized path). AdmitBatch hands it to the
+	// next task when the network version has not moved since.
+	snap      snapshot
+	snapValid bool
+}
+
+// admitLoop runs the optimistic solve/commit protocol for one task:
+// solve outside the lock against a snapshot, validate-and-commit under
+// it, re-solve on conflict up to maxAdmitRetries times, then fall back
+// to one serialized solve-and-commit. reuse, when non-nil, serves the
+// first attempt instead of a fresh clone — the batch path passes the
+// previous task's snapshot while the version triple proves it still
+// equals the live state, so an epoch-stable run of admissions shares
+// one clone and one scaffold warm-up.
+func (m *Manager) admitLoop(ctx context.Context, task nfv.Task, reuse *snapshot) admitOutcome {
+	var out admitOutcome
 	for {
-		snap := m.takeSnapshot()
-		tracing, par = snap.trace, snap.opts.Parallelism
+		var snap snapshot
+		if reuse != nil {
+			snap, out.coalesced = *reuse, true
+			reuse = nil
+		} else {
+			out.coalesced = false
+			snap = m.takeSnapshot()
+		}
+		out.tracing, out.par = snap.trace, snap.opts.Parallelism
 		attempt := snap.opts
 		attempt.Ctx = ctx
 		attempt.Scaffolds = m.scaffolds
-		rec = nil
-		if tracing != nil {
-			rec = &obs.SpanRecorder{}
-			attempt.Observer = obs.Tee(attempt.Observer, rec)
+		out.rec = nil
+		if out.tracing != nil {
+			out.rec = &obs.SpanRecorder{}
+			attempt.Observer = obs.Tee(attempt.Observer, out.rec)
 		}
-		res, err = core.Solve(snap.net, task, attempt)
-		if err != nil {
+		out.res, out.err = core.Solve(snap.net, task, attempt)
+		if out.err != nil {
 			// Rejections need no commit: the network was not touched.
 			// A conflicting commit cannot turn an infeasible task
 			// feasible only by *adding* load, but a concurrent release
 			// could, so a rejection computed against a stale snapshot
 			// is re-checked once against the current version.
 			if stale := m.noteRejectionLocked(snap); !stale {
-				sess = nil
-				err = fmt.Errorf("%w: %w", ErrRejected, err)
-				break
+				out.sess = nil
+				out.err = fmt.Errorf("%w: %w", ErrRejected, out.err)
+				// The stale check just proved the version unmoved, so
+				// the snapshot still equals the live state: a batch
+				// can reuse it for the next task.
+				out.snap, out.snapValid = snap, true
+				return out
 			}
-			retries++
-			if retries > maxAdmitRetries {
-				sess, res, err, rec = m.admitSerialized(ctx, task)
-				break
+			out.retries++
+			if out.retries > maxAdmitRetries {
+				out.sess, out.res, out.err, out.rec = m.admitSerialized(ctx, task)
+				return out
 			}
 			continue
 		}
 		var conflicted bool
-		sess, err, conflicted = m.tryCommit(snap, task, res)
+		out.sess, out.err, conflicted = m.tryCommit(snap, task, out.res)
 		if !conflicted {
-			break
+			out.snap, out.snapValid = snap, true
+			return out
 		}
-		retries++
-		if retries > maxAdmitRetries {
-			sess, res, err, rec = m.admitSerialized(ctx, task)
-			break
+		out.retries++
+		if out.retries > maxAdmitRetries {
+			out.sess, out.res, out.err, out.rec = m.admitSerialized(ctx, task)
+			return out
 		}
 	}
-	m.finishAdmit(tracing, rec, ctx, par, retries, sess, res, err, start)
-	if err != nil {
-		return nil, err
-	}
-	return sess, nil
 }
 
 // finishAdmit records the admission's trace and latency once the
@@ -724,6 +768,9 @@ type Stats struct {
 	CommitConflicts     int `json:"commit_conflicts"`
 	AdmitRetries        int `json:"admit_retries"`
 	SerializedFallbacks int `json:"serialized_fallbacks"`
+	// CoalescedSolves counts batch admissions that committed off a
+	// reused snapshot (see AdmitBatch).
+	CoalescedSolves int `json:"coalesced_solves,omitempty"`
 	// Durability history; all zero without an attached WAL.
 	WALRecords      int    `json:"wal_records,omitempty"`
 	WALAppendErrors int    `json:"wal_append_errors,omitempty"`
@@ -746,6 +793,7 @@ func (m *Manager) Stats() Stats {
 		CommitConflicts:     m.commitConflicts,
 		AdmitRetries:        m.admitRetries,
 		SerializedFallbacks: m.serializedFallbacks,
+		CoalescedSolves:     m.coalescedSolves,
 		WALRecords:          m.walRecords,
 		WALAppendErrors:     m.walAppendErrors,
 		Snapshots:           m.snapshots,

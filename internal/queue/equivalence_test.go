@@ -1,0 +1,170 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"sftree/internal/conformance"
+	"sftree/internal/core"
+	"sftree/internal/dynamic"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+// arrival is one scripted enqueue: a task plus an optional deadline
+// offset from the script's start.
+type arrival struct {
+	task     nfv.Task
+	deadline time.Duration // 0 = no deadline
+}
+
+// makeScript builds a fixed-seed arrival script whose chains repeat
+// (tasks are drawn from a small pool, so signature groups form) and
+// whose deadlines mix none, generous, and tight-but-feasible.
+func makeScript(t *testing.T, seed int64, n int) (*nfv.Network, []arrival) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := netgen.Generate(netgen.PaperConfig(30, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]nfv.Task, 5)
+	for i := range pool {
+		task, err := netgen.GenerateTask(net, rng, 2+i%3, 2+i%2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = task
+	}
+	script := make([]arrival, n)
+	for i := range script {
+		script[i].task = pool[rng.Intn(len(pool))]
+		switch rng.Intn(3) {
+		case 1:
+			script[i].deadline = 10 * time.Second
+		case 2:
+			script[i].deadline = 20 * time.Second
+		}
+	}
+	return net, script
+}
+
+func embJSON(t *testing.T, sess *dynamic.Session) string {
+	t.Helper()
+	blob, err := json.Marshal(sess.Result.Embedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestQueueEquivalenceBattery is the headline gate: fixed-seed arrival
+// scripts replayed through a one-worker queue and through serialized
+// AdmitCtx calls on an identical network clone, in the queue's
+// recorded dispatch order, must produce bit-identical admission
+// decisions — same per-task outcome, session IDs, embedding bytes,
+// cost bits, ref ledger and accounting — and both final states must
+// pass the conformance validator.
+func TestQueueEquivalenceBattery(t *testing.T) {
+	for _, tc := range []struct {
+		seed   int64
+		n      int
+		window time.Duration
+	}{
+		{seed: 1, n: 24, window: 0},
+		{seed: 2, n: 24, window: 2 * time.Millisecond},
+		{seed: 3, n: 32, window: 10 * time.Millisecond},
+		{seed: 4, n: 16, window: 50 * time.Millisecond},
+	} {
+		t.Run("", func(t *testing.T) {
+			netQ, script := makeScript(t, tc.seed, tc.n)
+			netS := netQ.Clone()
+			mQ := dynamic.NewManager(netQ, core.Options{})
+			mS := dynamic.NewManager(netS, core.Options{})
+
+			q := New(Config{
+				Depth:       len(script),
+				BatchWindow: tc.window,
+				Workers:     1,
+				Manager:     func() *dynamic.Manager { return mQ },
+			})
+			start := time.Now()
+			tickets := make([]*Ticket, len(script))
+			for i, a := range script {
+				var deadline time.Time
+				if a.deadline != 0 {
+					deadline = start.Add(a.deadline)
+				}
+				tk, err := q.Enqueue(context.Background(), a.task, deadline)
+				if err != nil {
+					t.Fatalf("enqueue %d: %v", i, err)
+				}
+				tickets[i] = tk
+			}
+			for i, tk := range tickets {
+				if _, err := tk.Wait(context.Background()); err != nil && !errors.Is(err, dynamic.ErrRejected) {
+					t.Fatalf("ticket %d: unexpected terminal error %v", i, err)
+				}
+			}
+			closeQueue(t, q)
+
+			// Serial replay in the queue's recorded dispatch order.
+			ordered := append([]*Ticket(nil), tickets...)
+			sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+			for _, tk := range ordered {
+				if tk.order < 0 {
+					t.Fatalf("ticket never dispatched (err %v)", tk.err)
+				}
+				sessS, errS := mS.AdmitCtx(context.Background(), tk.task)
+				if (tk.err == nil) != (errS == nil) {
+					t.Fatalf("order %d: queue err %v, serial err %v", tk.order, tk.err, errS)
+				}
+				if errS != nil {
+					continue
+				}
+				if tk.sess.ID != sessS.ID {
+					t.Fatalf("order %d: session ID %d vs %d", tk.order, tk.sess.ID, sessS.ID)
+				}
+				if a, b := embJSON(t, tk.sess), embJSON(t, sessS); a != b {
+					t.Fatalf("order %d: embeddings diverge:\n%s\n%s", tk.order, a, b)
+				}
+				if a, b := tk.sess.Result.FinalCost, sessS.Result.FinalCost; math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("order %d: cost %v vs %v", tk.order, a, b)
+				}
+			}
+
+			sQ, sS := mQ.Stats(), mS.Stats()
+			if sQ.Admitted != sS.Admitted || sQ.Rejected != sS.Rejected || sQ.Active != sS.Active {
+				t.Fatalf("stats diverge: queue %+v serial %+v", sQ, sS)
+			}
+			if math.Float64bits(sQ.AdmittedCost) != math.Float64bits(sS.AdmittedCost) {
+				t.Fatalf("accounting diverges: %v vs %v", sQ.AdmittedCost, sS.AdmittedCost)
+			}
+			refsQ, refsS := mQ.Refs(), mS.Refs()
+			if len(refsQ) != len(refsS) {
+				t.Fatalf("ref ledgers diverge: %d vs %d", len(refsQ), len(refsS))
+			}
+			for key, nref := range refsQ {
+				if refsS[key] != nref {
+					t.Fatalf("refs[%v] = %d vs %d", key, nref, refsS[key])
+				}
+			}
+			for _, m := range []*dynamic.Manager{mQ, mS} {
+				for _, sess := range m.Sessions() {
+					if err := conformance.CheckLive(m.Network(), sess.Result.Embedding); err != nil {
+						t.Errorf("session %d: conformance: %v", sess.ID, err)
+					}
+				}
+				if err := m.VerifyRefs(); err != nil {
+					t.Errorf("refs: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,512 @@
+// Package queue is the bounded async admission pipeline in front of
+// dynamic.Manager: requests enqueue with a deadline and a dispatcher
+// drains them in batches, grouping tasks that share a chain signature
+// (the same varint key internal/mod memoizes scaffolds under) so a
+// signature group rides one shared solve context — one snapshot clone,
+// one metric warm-up, one scaffold build — while every task still
+// commits individually through the optimistic two-phase path.
+//
+// Scheduling is earliest-deadline-first: each drained batch drops
+// already-expired tickets before any solve runs (they answer
+// Retry-After upstream), sorts the rest by deadline (no deadline sorts
+// last) with the arrival sequence as tie-break, and dispatches
+// signature groups in that order. On one worker the result is
+// bit-identical to serialized AdmitCtx calls in the queue's dispatch
+// order — the property the equivalence battery in this package pins.
+//
+// The never-lose-a-task contract: every ticket accepted by Enqueue is
+// finished exactly once, in exactly one of {admitted, rejected,
+// expired, closed, unavailable}. Tickets are owned by exactly one
+// place at any time — the pending slice, a draining batch, or Close's
+// abandonment path — and only finish closes the ticket's done channel.
+package queue
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"sftree/internal/dynamic"
+	"sftree/internal/mod"
+	"sftree/internal/nfv"
+	"sftree/internal/obs"
+)
+
+var (
+	// ErrQueueFull rejects an enqueue when the bounded depth is
+	// exhausted; the caller should back off and retry.
+	ErrQueueFull = errors.New("queue: full")
+	// ErrExpired rejects a task whose deadline passed before any solve
+	// ran for it.
+	ErrExpired = errors.New("queue: deadline expired before dispatch")
+	// ErrClosed rejects enqueues after Close, and fails tickets still
+	// queued when the drain budget runs out.
+	ErrClosed = errors.New("queue: closed")
+	// ErrUnavailable fails tickets dispatched while no manager is
+	// installed (stateless server, mid-swap restart window).
+	ErrUnavailable = errors.New("queue: no session manager")
+)
+
+// Config parameterizes a Queue. The zero value of every field has a
+// usable default.
+type Config struct {
+	// Depth bounds the number of queued tickets; enqueues beyond it
+	// fail fast with ErrQueueFull. Default 256.
+	Depth int
+	// BatchWindow is how long the dispatcher lingers after waking so a
+	// burst can pool into one batch. Zero dispatches immediately.
+	BatchWindow time.Duration
+	// Workers bounds how many signature groups solve concurrently
+	// within a batch. Default 1 — the only setting with the
+	// bit-identity guarantee.
+	Workers int
+	// Manager supplies the admission manager per batch; indirection
+	// keeps the queue correct across the restart harness's hot swap.
+	// A nil return fails the batch's tickets with ErrUnavailable.
+	Manager func() *dynamic.Manager
+	// Now is the clock; tests and the fuzz harness pin it. Default
+	// time.Now.
+	Now func() time.Time
+}
+
+// Ticket is one queued admission. The caller blocks on Wait; the
+// outcome fields are immutable once the done channel closes.
+type Ticket struct {
+	task     nfv.Task
+	ctx      context.Context
+	deadline time.Time
+	enqueued time.Time
+	seq      uint64
+
+	done      chan struct{}
+	sess      *dynamic.Session
+	err       error
+	wait      time.Duration // enqueue → this task's solve slot
+	solve     time.Duration // this task's own solve+commit time
+	order     int           // global dispatch index (-1 until solved)
+	coalesced bool
+}
+
+// Wait blocks until the ticket resolves or the context ends. A context
+// error abandons only the wait: the admission itself still runs to
+// completion inside the dispatcher.
+func (t *Ticket) Wait(ctx context.Context) (*dynamic.Session, error) {
+	select {
+	case <-t.done:
+		return t.sess, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// WaitDuration is the time the task spent queued before its solve slot
+// started; valid after Wait returns without a context error.
+func (t *Ticket) WaitDuration() time.Duration { return t.wait }
+
+// SolveDuration is the task's own solve-and-commit time; zero for
+// tickets that never reached a solver (expired, closed, unavailable).
+func (t *Ticket) SolveDuration() time.Duration { return t.solve }
+
+// Order is the global dispatch index the scheduler assigned, the
+// serialization order the equivalence battery replays; -1 for tickets
+// that never reached a solver.
+func (t *Ticket) Order() int { return t.order }
+
+// Coalesced reports whether the admission committed off a snapshot
+// inherited from an earlier task in its batch.
+func (t *Ticket) Coalesced() bool { return t.coalesced }
+
+// Stats is a point-in-time queue snapshot.
+type Stats struct {
+	Depth     int  `json:"depth"`
+	Capacity  int  `json:"capacity"`
+	Saturated bool `json:"saturated"`
+
+	Enqueued  uint64 `json:"enqueued"`
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Expired   uint64 `json:"expired"`
+	Overflow  uint64 `json:"overflow"`
+	Batches   uint64 `json:"batches"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// queueMetrics are the optional registry handles (see Instrument).
+type queueMetrics struct {
+	enqueued, admitted, rejected *obs.Counter
+	expired, overflow            *obs.Counter
+	batches, coalesced           *obs.Counter
+	waitMS                       *obs.Histogram
+	batchSize                    *obs.Histogram
+}
+
+// Queue is the bounded admission pipeline. All methods are safe for
+// concurrent use.
+type Queue struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending holds tickets accepted but not yet taken by the
+	// dispatcher; its length is the queue depth.
+	pending []*Ticket
+	closed  bool
+	seq     uint64
+	next    int // next global dispatch index
+
+	enqueued, admitted, rejected uint64
+	expired, overflow, batches   uint64
+	coalesced                    uint64
+
+	met  *queueMetrics
+	done chan struct{} // dispatcher exited
+}
+
+// New starts a queue and its dispatcher goroutine. Stop it with Close.
+func New(cfg Config) *Queue {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	q := &Queue{cfg: cfg, done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go q.dispatch()
+	return q
+}
+
+// Instrument wires the queue into the registry: queue_depth and
+// queue_saturated gauges, the queue_wait_ms histogram (enqueue to
+// solve slot), the queue_batch_size distribution, and the
+// queue_{enqueued,admitted,rejected,expired,overflow,batches,
+// coalesced_solves}_total counters. Returns the queue for chaining.
+func (q *Queue) Instrument(reg *obs.Registry) *Queue {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.met = &queueMetrics{
+		enqueued:  reg.Counter("queue_enqueued_total"),
+		admitted:  reg.Counter("queue_admitted_total"),
+		rejected:  reg.Counter("queue_rejected_total"),
+		expired:   reg.Counter("queue_expired_total"),
+		overflow:  reg.Counter("queue_overflow_total"),
+		batches:   reg.Counter("queue_batches_total"),
+		coalesced: reg.Counter("queue_coalesced_solves_total"),
+		waitMS:    reg.Histogram("queue_wait_ms", obs.LatencyBuckets),
+		batchSize: reg.Histogram("queue_batch_size", nil),
+	}
+	reg.GaugeFunc("queue_depth", func() float64 {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return float64(len(q.pending))
+	})
+	reg.GaugeFunc("queue_saturated", func() float64 {
+		if q.Stats().Saturated {
+			return 1
+		}
+		return 0
+	})
+	return q
+}
+
+// Enqueue accepts a task for batched admission. ctx is the per-task
+// base context (request ID, caller cancellation) threaded into the
+// solve; deadline, when non-zero, bounds the solve and expires the
+// ticket if no solve slot opens in time. Fails fast with ErrQueueFull,
+// ErrClosed, or ErrExpired (deadline already past).
+func (q *Queue) Enqueue(ctx context.Context, task nfv.Task, deadline time.Time) (*Ticket, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	now := q.cfg.Now()
+	if !deadline.IsZero() && !now.Before(deadline) {
+		q.mu.Lock()
+		q.expired++
+		met := q.met
+		q.mu.Unlock()
+		if met != nil {
+			met.expired.Inc()
+		}
+		return nil, ErrExpired
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(q.pending) >= q.cfg.Depth {
+		q.overflow++
+		met := q.met
+		q.mu.Unlock()
+		if met != nil {
+			met.overflow.Inc()
+		}
+		return nil, ErrQueueFull
+	}
+	q.seq++
+	t := &Ticket{
+		task:     task,
+		ctx:      ctx,
+		deadline: deadline,
+		enqueued: now,
+		seq:      q.seq,
+		done:     make(chan struct{}),
+		order:    -1,
+	}
+	q.pending = append(q.pending, t)
+	q.enqueued++
+	met := q.met
+	q.cond.Signal()
+	q.mu.Unlock()
+	if met != nil {
+		met.enqueued.Inc()
+	}
+	return t, nil
+}
+
+// Close stops intake and drains: the dispatcher keeps solving already
+// accepted work until the pending list empties or ctx expires, at
+// which point still-queued tickets fail with ErrClosed. Returns ctx's
+// error when the budget ran out, nil on a clean drain. Idempotent.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	select {
+	case <-q.done:
+		return nil
+	case <-ctx.Done():
+		// Budget exhausted: abandon whatever the dispatcher has not
+		// taken. Tickets already inside a batch still resolve.
+		q.mu.Lock()
+		rest := q.pending
+		q.pending = nil
+		q.cond.Broadcast()
+		q.mu.Unlock()
+		for _, t := range rest {
+			t.err = ErrClosed
+			close(t.done)
+		}
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Depth:     len(q.pending),
+		Capacity:  q.cfg.Depth,
+		Saturated: len(q.pending) >= q.cfg.Depth,
+		Enqueued:  q.enqueued,
+		Admitted:  q.admitted,
+		Rejected:  q.rejected,
+		Expired:   q.expired,
+		Overflow:  q.overflow,
+		Batches:   q.batches,
+		Coalesced: q.coalesced,
+	}
+}
+
+// dispatch is the scheduler loop: wait for work, linger one batch
+// window so a burst pools, take everything pending, run the batch.
+func (q *Queue) dispatch() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.pending) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.pending) == 0 {
+			// Closed and drained.
+			q.mu.Unlock()
+			return
+		}
+		q.mu.Unlock()
+
+		if w := q.cfg.BatchWindow; w > 0 {
+			time.Sleep(w)
+		}
+
+		q.mu.Lock()
+		batch := q.pending
+		q.pending = nil
+		q.mu.Unlock()
+		if len(batch) > 0 {
+			q.runBatch(batch)
+		}
+	}
+}
+
+// group is one chain-signature bucket in EDF order.
+type group struct {
+	sig     string
+	tickets []*Ticket
+}
+
+// plan orders a drained batch: expired tickets out first (no solve is
+// wasted on them), the rest earliest-deadline-first with arrival order
+// as tie-break, then bucketed by chain signature in first-occurrence
+// order. Pure function of (batch, now) — the fuzz harness replays it.
+func plan(batch []*Ticket, now time.Time) (groups []group, expired []*Ticket) {
+	live := batch[:0:0]
+	for _, t := range batch {
+		if !t.deadline.IsZero() && !now.Before(t.deadline) {
+			expired = append(expired, t)
+			continue
+		}
+		live = append(live, t)
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		di, dj := live[i].deadline, live[j].deadline
+		switch {
+		case di.IsZero() && dj.IsZero():
+			return live[i].seq < live[j].seq
+		case di.IsZero():
+			return false
+		case dj.IsZero():
+			return true
+		case di.Equal(dj):
+			return live[i].seq < live[j].seq
+		default:
+			return di.Before(dj)
+		}
+	})
+	index := make(map[string]int)
+	for _, t := range live {
+		sig := mod.ChainSig(t.task.Chain)
+		gi, ok := index[sig]
+		if !ok {
+			gi = len(groups)
+			index[sig] = gi
+			groups = append(groups, group{sig: sig})
+		}
+		groups[gi].tickets = append(groups[gi].tickets, t)
+	}
+	return groups, expired
+}
+
+// runBatch resolves one drained batch end to end.
+func (q *Queue) runBatch(batch []*Ticket) {
+	now := q.cfg.Now()
+	groups, expired := plan(batch, now)
+
+	q.mu.Lock()
+	q.batches++
+	q.expired += uint64(len(expired))
+	met := q.met
+	q.mu.Unlock()
+	if met != nil {
+		met.batches.Inc()
+		met.batchSize.Observe(float64(len(batch)))
+		for range expired {
+			met.expired.Inc()
+		}
+	}
+	for _, t := range expired {
+		t.err = ErrExpired
+		close(t.done)
+	}
+	if len(groups) == 0 {
+		return
+	}
+
+	mgr := q.cfg.Manager()
+	if mgr == nil {
+		for _, g := range groups {
+			for _, t := range g.tickets {
+				t.err = ErrUnavailable
+				close(t.done)
+			}
+		}
+		return
+	}
+
+	// Assign the global serialization order up front: groups in EDF
+	// first-occurrence order, tickets in EDF order within each. With
+	// one worker the solves run in exactly this order.
+	q.mu.Lock()
+	for _, g := range groups {
+		for _, t := range g.tickets {
+			t.order = q.next
+			q.next++
+		}
+	}
+	q.mu.Unlock()
+
+	if q.cfg.Workers <= 1 || len(groups) == 1 {
+		for _, g := range groups {
+			q.runGroup(mgr, g)
+		}
+		return
+	}
+	// Multi-worker: signature groups solve concurrently, bit-identity
+	// is traded for parallelism. Order within a group still holds.
+	sem := make(chan struct{}, q.cfg.Workers)
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(g group) {
+			defer wg.Done()
+			q.runGroup(mgr, g)
+			<-sem
+		}(g)
+	}
+	wg.Wait()
+}
+
+// runGroup drives one signature group through a shared AdmitBatch
+// call: consecutive commits that leave the deployment epoch unmoved
+// share a single snapshot clone and scaffold warm-up.
+func (q *Queue) runGroup(mgr *dynamic.Manager, g group) {
+	start := q.cfg.Now()
+	bts := make([]dynamic.BatchTask, len(g.tickets))
+	for i, t := range g.tickets {
+		bts[i] = dynamic.BatchTask{Task: t.task, Deadline: t.deadline, Ctx: t.ctx}
+	}
+	outs := mgr.AdmitBatch(context.Background(), bts)
+
+	var admitted, rejected, coalesced uint64
+	cum := time.Duration(0)
+	for i, t := range g.tickets {
+		out := outs[i]
+		t.sess, t.err = out.Sess, out.Err
+		t.coalesced = out.Coalesced
+		t.solve = out.Duration
+		t.wait = start.Add(cum).Sub(t.enqueued)
+		cum += out.Duration
+		if out.Err != nil {
+			rejected++
+		} else {
+			admitted++
+			if out.Coalesced {
+				coalesced++
+			}
+		}
+	}
+
+	q.mu.Lock()
+	q.admitted += admitted
+	q.rejected += rejected
+	q.coalesced += coalesced
+	met := q.met
+	q.mu.Unlock()
+	if met != nil {
+		for _, t := range g.tickets {
+			met.waitMS.ObserveDuration(t.wait)
+		}
+		met.admitted.Add(int64(admitted))
+		met.rejected.Add(int64(rejected))
+		met.coalesced.Add(int64(coalesced))
+	}
+	for _, t := range g.tickets {
+		close(t.done)
+	}
+}

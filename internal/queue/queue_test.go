@@ -1,0 +1,269 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sftree/internal/core"
+	"sftree/internal/dynamic"
+	"sftree/internal/mod"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+	"sftree/internal/obs"
+)
+
+// testWorld builds a small network, a manager on it, and a task
+// generator whose chains repeat so batches form signature groups.
+func testWorld(t *testing.T, seed int64) (*dynamic.Manager, func() nfv.Task) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := netgen.Generate(netgen.PaperConfig(30, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dynamic.NewManager(net, core.Options{})
+	var pool []nfv.Task
+	for i := 0; i < 4; i++ {
+		task, err := netgen.GenerateTask(net, rng, 2+i%3, 2+i%2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, task)
+	}
+	i := 0
+	return m, func() nfv.Task {
+		task := pool[i%len(pool)]
+		i++
+		return task
+	}
+}
+
+func closeQueue(t *testing.T, q *Queue) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestQueueAdmits(t *testing.T) {
+	m, next := testWorld(t, 3)
+	reg := obs.NewRegistry()
+	q := New(Config{
+		Depth:       16,
+		BatchWindow: 5 * time.Millisecond,
+		Manager:     func() *dynamic.Manager { return m },
+	}).Instrument(reg)
+	defer closeQueue(t, q)
+
+	const n = 8
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tk, err := q.Enqueue(context.Background(), next(), time.Time{})
+		if err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	orders := make(map[int]bool)
+	for i, tk := range tickets {
+		sess, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+		if sess == nil {
+			t.Fatalf("ticket %d: nil session without error", i)
+		}
+		if tk.WaitDuration() < 0 || tk.SolveDuration() <= 0 {
+			t.Errorf("ticket %d: wait %v solve %v", i, tk.WaitDuration(), tk.SolveDuration())
+		}
+		if o := tk.Order(); o < 0 || orders[o] {
+			t.Errorf("ticket %d: dispatch order %d invalid or duplicated", i, o)
+		} else {
+			orders[tk.Order()] = true
+		}
+	}
+	st := q.Stats()
+	if st.Enqueued != n || st.Admitted != n || st.Rejected != 0 || st.Expired != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Batches == 0 {
+		t.Error("no batch recorded")
+	}
+	if m.Active() != n {
+		t.Errorf("manager holds %d sessions, want %d", m.Active(), n)
+	}
+	if got := reg.Counter("queue_admitted_total").Value(); got != n {
+		t.Errorf("queue_admitted_total = %d, want %d", got, n)
+	}
+	if reg.Counter("queue_batches_total").Value() == 0 {
+		t.Error("queue_batches_total stayed zero")
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	m, next := testWorld(t, 5)
+	q := New(Config{
+		Depth:       2,
+		BatchWindow: 300 * time.Millisecond,
+		Manager:     func() *dynamic.Manager { return m },
+	})
+	defer closeQueue(t, q)
+
+	var kept []*Ticket
+	overflowed := false
+	for i := 0; i < 6; i++ {
+		tk, err := q.Enqueue(context.Background(), next(), time.Time{})
+		if errors.Is(err, ErrQueueFull) {
+			overflowed = true
+			continue
+		}
+		if err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		kept = append(kept, tk)
+	}
+	if !overflowed {
+		t.Fatal("depth-2 queue accepted 6 enqueues without overflow")
+	}
+	if q.Stats().Overflow == 0 {
+		t.Error("overflow not counted")
+	}
+	for _, tk := range kept {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Errorf("kept ticket: %v", err)
+		}
+	}
+}
+
+func TestQueueExpired(t *testing.T) {
+	m, next := testWorld(t, 7)
+	q := New(Config{
+		Depth:       8,
+		BatchWindow: 100 * time.Millisecond,
+		Manager:     func() *dynamic.Manager { return m },
+	})
+	defer closeQueue(t, q)
+
+	// Already past at enqueue: rejected synchronously.
+	if _, err := q.Enqueue(context.Background(), next(), time.Now().Add(-time.Second)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("past deadline: err = %v, want ErrExpired", err)
+	}
+	// Expires while queued: the batch window outlives the deadline, so
+	// the dispatcher must drop it before solving.
+	tk, err := q.Enqueue(context.Background(), next(), time.Now().Add(5*time.Millisecond))
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if _, err := tk.Wait(context.Background()); !errors.Is(err, ErrExpired) {
+		t.Fatalf("queued past deadline: err = %v, want ErrExpired", err)
+	}
+	if tk.Order() != -1 {
+		t.Errorf("expired ticket got dispatch order %d, want -1 (never solved)", tk.Order())
+	}
+	if got := q.Stats().Expired; got != 2 {
+		t.Errorf("stats.Expired = %d, want 2", got)
+	}
+}
+
+func TestQueueClosed(t *testing.T) {
+	m, next := testWorld(t, 11)
+	q := New(Config{
+		Depth:       8,
+		BatchWindow: 20 * time.Millisecond,
+		Manager:     func() *dynamic.Manager { return m },
+	})
+
+	// Accepted work survives Close: the drain solves it.
+	tk, err := q.Enqueue(context.Background(), next(), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatalf("ticket enqueued before Close: %v", err)
+	}
+	if _, err := q.Enqueue(context.Background(), next(), time.Time{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestQueueCloseBudget(t *testing.T) {
+	m, next := testWorld(t, 13)
+	q := New(Config{
+		Depth:       8,
+		BatchWindow: 2 * time.Second, // dispatcher lingers past the drain budget
+		Manager:     func() *dynamic.Manager { return m },
+	})
+	tk, err := q.Enqueue(context.Background(), next(), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close with exhausted budget: err = %v", err)
+	}
+	if _, err := tk.Wait(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("abandoned ticket: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestQueueUnavailable(t *testing.T) {
+	q := New(Config{
+		Depth:   4,
+		Manager: func() *dynamic.Manager { return nil },
+	})
+	defer closeQueue(t, q)
+	task := nfv.Task{Source: 0, Destinations: []int{1}, Chain: nfv.SFC{0}}
+	tk, err := q.Enqueue(context.Background(), task, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("nil manager: err = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestPlan pins the scheduler's pure ordering function: expired out
+// first, earliest deadline first with arrival-order tie-break, no
+// deadline last, and signature buckets in first-occurrence order.
+func TestPlan(t *testing.T) {
+	now := time.Unix(1000, 0)
+	mk := func(seq uint64, chain nfv.SFC, deadline time.Time) *Ticket {
+		return &Ticket{task: nfv.Task{Chain: chain}, seq: seq, deadline: deadline, done: make(chan struct{}), order: -1}
+	}
+	a, b := nfv.SFC{1, 2}, nfv.SFC{3}
+	tA1 := mk(1, a, time.Time{})             // no deadline
+	tB1 := mk(2, b, now.Add(time.Second))    // earliest live deadline
+	tA2 := mk(3, a, now.Add(2*time.Second))  // later deadline
+	tDead := mk(4, a, now.Add(-time.Second)) // already expired
+	tB2 := mk(5, b, now.Add(time.Second))    // same deadline as tB1, later arrival
+	groups, expired := plan([]*Ticket{tA1, tB1, tA2, tDead, tB2}, now)
+
+	if len(expired) != 1 || expired[0] != tDead {
+		t.Fatalf("expired = %v", expired)
+	}
+	// EDF order: tB1, tB2 (tie → seq), tA2, tA1 (no deadline last).
+	// First-occurrence signature grouping: sig(b) first, then sig(a).
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if groups[0].sig != mod.ChainSig(b) || groups[1].sig != mod.ChainSig(a) {
+		t.Fatalf("group order: %q, %q", groups[0].sig, groups[1].sig)
+	}
+	if groups[0].tickets[0] != tB1 || groups[0].tickets[1] != tB2 {
+		t.Fatal("deadline tie must break by arrival order")
+	}
+	if groups[1].tickets[0] != tA2 || groups[1].tickets[1] != tA1 {
+		t.Fatal("no-deadline tickets must sort after deadlined ones")
+	}
+}

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sftree/internal/core"
+	"sftree/internal/graph"
+	"sftree/internal/netgen"
+	"sftree/internal/nfv"
+)
+
+// newQueuedServer boots a session server in queued-admission mode and
+// returns the Server (for queue introspection), its test listener and
+// a feasible task on its network.
+func newQueuedServer(t *testing.T, cfg Config) (*Server, *httptest.Server, nfv.Task) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(10))
+	net, err := netgen.Generate(netgen.PaperConfig(25, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := netgen.GenerateTask(net, rng, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(net, core.Options{}, cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if q := srv.Queue(); q != nil {
+			_ = q.Close(ctx)
+		}
+	})
+	return srv, ts, task
+}
+
+func TestQueuedAdmitSucceeds(t *testing.T) {
+	srv, ts, task := newQueuedServer(t, Config{QueueDepth: 8, BatchWindow: 2 * time.Millisecond})
+	resp := postJSON(t, ts.URL+"/v1/sessions", task)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var ar AdmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.SolveMS <= 0 {
+		t.Errorf("solve_ms = %v, want > 0 on the queued path", ar.SolveMS)
+	}
+	if ar.WaitMS < 0 {
+		t.Errorf("wait_ms = %v, want >= 0", ar.WaitMS)
+	}
+	if st := srv.Queue().Stats(); st.Admitted != 1 || st.Batches == 0 {
+		t.Errorf("queue stats = %+v", st)
+	}
+}
+
+// TestQueuedAdmitErrors is the table-driven contract for the enqueue
+// endpoint's error surface: bad timeout_ms values stay 400 (validated
+// before any enqueue), malformed tasks 400, infeasible tasks 409 —
+// all wrapped in the JSON error envelope.
+func TestQueuedAdmitErrors(t *testing.T) {
+	_, ts, task := newQueuedServer(t, Config{QueueDepth: 8})
+	blob, err := json.Marshal(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		query  string
+		body   string
+		status int
+	}{
+		{name: "negative timeout_ms", query: "?timeout_ms=-5", body: string(blob), status: http.StatusBadRequest},
+		{name: "overflow timeout_ms", query: fmt.Sprintf("?timeout_ms=%d", int64(1)<<62), body: string(blob), status: http.StatusBadRequest},
+		{name: "unparseable timeout_ms", query: "?timeout_ms=soon", body: string(blob), status: http.StatusBadRequest},
+		{name: "malformed body", body: "{nope", status: http.StatusBadRequest},
+		{name: "invalid task", body: `{"source":-1,"destinations":[2],"chain":[0]}`, status: http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/sessions"+tc.query, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			var envelope errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+				t.Fatalf("error envelope missing: decode err %v, body %+v", err, envelope)
+			}
+		})
+	}
+}
+
+// TestQueuedAdmitRejection posts a well-formed task to a network with
+// zero server capacity: the task passes validation, reaches the
+// solver through the queue, and the rejection must surface as 409
+// with the JSON error envelope, exactly like the inline path.
+func TestQueuedAdmitRejection(t *testing.T) {
+	g := graph.New(4)
+	for v := 1; v < 4; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	net := nfv.NewNetwork(g, []nfv.VNF{{ID: 0, Name: "f0", Demand: 1}})
+	for _, v := range []int{1, 2} {
+		if err := net.SetServer(v, 0); err != nil { // servers exist, zero capacity
+			t.Fatal(err)
+		}
+		if err := net.SetSetupCost(0, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewWith(net, core.Options{}, Config{QueueDepth: 8})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Queue().Close(ctx)
+	})
+
+	task := nfv.Task{Source: 0, Destinations: []int{3}, Chain: nfv.SFC{0}}
+	resp := postJSON(t, ts.URL+"/v1/sessions", task)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", resp.StatusCode)
+	}
+	var envelope errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("409 envelope missing: %v %+v", err, envelope)
+	}
+	if st := srv.Queue().Stats(); st.Rejected != 1 {
+		t.Errorf("queue rejection not counted: %+v", st)
+	}
+}
+
+// TestQueuedAdmitOverflow forces the bounded queue full and asserts
+// the 429 envelope carries Retry-After.
+func TestQueuedAdmitOverflow(t *testing.T) {
+	srv, ts, task := newQueuedServer(t, Config{QueueDepth: 1, BatchWindow: time.Second})
+	blob, err := json.Marshal(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the single slot, then post again while it is still queued
+	// (the batch window keeps the dispatcher lingering).
+	first := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(string(blob)))
+		if err == nil {
+			first <- resp
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Queue().Stats().Depth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+	var envelope errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("error envelope missing: %v %+v", err, envelope)
+	}
+	if srv.Queue().Stats().Overflow == 0 {
+		t.Error("overflow not counted")
+	}
+
+	// /readyz reports the saturated queue as degraded.
+	rdy, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdy.Body.Close()
+	var ready struct {
+		Status    string `json:"status"`
+		Saturated bool   `json:"queue_saturated"`
+	}
+	if err := json.NewDecoder(rdy.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "degraded" || !ready.Saturated {
+		t.Errorf("readyz while saturated = %+v", ready)
+	}
+
+	if fr := <-first; fr != nil {
+		fr.Body.Close()
+	}
+}
+
+// TestQueuedAdmitExpires asks for a deadline far shorter than the
+// batch window: the ticket must expire in-queue and answer 429 with
+// Retry-After, never reaching a solver.
+func TestQueuedAdmitExpires(t *testing.T) {
+	srv, ts, task := newQueuedServer(t, Config{QueueDepth: 8, BatchWindow: 300 * time.Millisecond})
+	blob, err := json.Marshal(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions?timeout_ms=1", "application/json", strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if st := srv.Queue().Stats(); st.Expired == 0 {
+		t.Errorf("expiry not counted: %+v", st)
+	}
+}
+
+// TestQueuedAdmitDraining closes the queue (the shutdown sequence's
+// queue-drain step) and asserts new admissions answer 503.
+func TestQueuedAdmitDraining(t *testing.T) {
+	srv, ts, task := newQueuedServer(t, Config{QueueDepth: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Queue().Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/sessions", task)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var envelope errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("error envelope missing: %v %+v", err, envelope)
+	}
+}
